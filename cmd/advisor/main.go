@@ -1,0 +1,127 @@
+// Command advisor runs the model configuration advisor on one of the
+// built-in data sets and reports the selected configuration. The final
+// configuration can be saved in F²DB's storage format for later use with
+// the f2dbcli tool.
+//
+// Usage:
+//
+//	advisor -dataset tourism -progress
+//	advisor -dataset gen1k -alpha 0.5 -out config.f2db
+//	advisor -csv facts.csv -dims "product;location=city<region" -period 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cubefc/internal/core"
+	"cubefc/internal/csvload"
+	"cubefc/internal/cube"
+	"cubefc/internal/experiments"
+	"cubefc/internal/f2db"
+)
+
+func main() {
+	dataset := flag.String("dataset", "tourism", "data set: tourism, sales, energy, gen1k, gen10k")
+	seed := flag.Int64("seed", 42, "RNG seed for the multi-source probes")
+	alpha := flag.Float64("alpha", 0, "pin the acceptance parameter alpha (0 = paper schedule 0.1..1.0)")
+	maxModels := flag.Int("max-models", 0, "stop criterion: maximum number of models (0 = off)")
+	targetError := flag.Float64("target-error", 0, "stop criterion: target overall SMAPE (0 = off)")
+	progress := flag.Bool("progress", false, "print one line per advisor iteration")
+	out := flag.String("out", "", "save the final configuration to this file")
+	paperScale := flag.Bool("paper-scale", false, "use paper-sized data sets")
+	csvPath := flag.String("csv", "", "load a fact-table CSV instead of a built-in data set")
+	dimSpec := flag.String("dims", "", "dimension spec for -csv, e.g. \"product;location=city<region\"")
+	period := flag.Int("period", 1, "seasonal period for -csv data")
+	flag.Parse()
+
+	scale := experiments.Quick
+	if *paperScale {
+		scale = experiments.Paper
+	}
+	buildStart := time.Now()
+	var g *cube.Graph
+	name := *dataset
+	if *csvPath != "" {
+		specs, err := csvload.ParseSpec(*dimSpec)
+		if err != nil {
+			fail(err)
+		}
+		fh, err := os.Open(*csvPath)
+		if err != nil {
+			fail(err)
+		}
+		dims, base, err := csvload.Load(fh, specs, csvload.Options{Period: *period})
+		cerr := fh.Close()
+		if err != nil {
+			fail(err)
+		}
+		if cerr != nil {
+			fail(cerr)
+		}
+		g, err = cube.NewGraph(dims, base)
+		if err != nil {
+			fail(err)
+		}
+		name = *csvPath
+	} else {
+		ds, err := experiments.LoadDataset(*dataset, scale)
+		if err != nil {
+			fail(err)
+		}
+		g, err = ds.Graph()
+		if err != nil {
+			fail(err)
+		}
+		name = ds.Name
+	}
+	fmt.Printf("data set %s: %d base series, %d graph nodes, %d observations (graph built in %v)\n",
+		name, len(g.BaseIDs), g.NumNodes(), g.Length, time.Since(buildStart).Round(time.Millisecond))
+
+	opts := core.Options{
+		Seed:        *seed,
+		MaxModels:   *maxModels,
+		TargetError: *targetError,
+	}
+	if *alpha > 0 {
+		opts.Alpha0, opts.AlphaMax = *alpha, *alpha
+	}
+	if *progress {
+		opts.OnIteration = func(s core.Snapshot) {
+			fmt.Printf("  it=%-3d alpha=%.2f gamma=%+.2f cand=%-3d created=%d accepted=%d rejected=%d deleted=%d err=%.4f models=%d\n",
+				s.Iteration, s.Alpha, s.Gamma, s.Candidates, s.Created, s.Accepted, s.Rejected, s.Deleted, s.Error, s.Models)
+		}
+	}
+
+	start := time.Now()
+	cfg, err := core.Run(g, opts)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("advisor finished in %v: error=%.4f models=%d (%.1f%% of nodes) creation-cost=%.3fs\n",
+		time.Since(start).Round(time.Millisecond), cfg.Error(), cfg.NumModels(),
+		100*float64(cfg.NumModels())/float64(g.NumNodes()), cfg.CostSeconds)
+
+	cfg.Report().Fprint(os.Stdout)
+
+	if *out != "" {
+		fh, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		if err := f2db.SaveConfiguration(fh, cfg); err != nil {
+			fail(err)
+		}
+		if err := fh.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("configuration saved to %s\n", *out)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "advisor:", err)
+	os.Exit(1)
+}

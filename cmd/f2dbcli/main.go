@@ -1,0 +1,249 @@
+// Command f2dbcli is an interactive shell for the embedded F²DB engine:
+// it builds a data set, selects (or loads) a model configuration and
+// answers forecast queries typed at the prompt.
+//
+// Usage:
+//
+//	f2dbcli -dataset tourism
+//	f2dbcli -dataset gen1k -config config.f2db
+//	f2dbcli -csv facts.csv -dims "product;location=city<region" -period 12
+//
+// Queries:
+//
+//	SELECT time, SUM(m) FROM facts WHERE state = 'NSW' GROUP BY time AS OF now() + '2 steps'
+//	EXPLAIN SELECT time, SUM(m) FROM facts WHERE purpose = 'holiday'
+//	INSERT INTO facts VALUES ('holiday', 'NSW', 123.4)
+//
+// Meta commands: \stats, \models, \help, \quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"cubefc/internal/core"
+	"cubefc/internal/csvload"
+	"cubefc/internal/cube"
+	"cubefc/internal/experiments"
+	"cubefc/internal/f2db"
+)
+
+func main() {
+	dataset := flag.String("dataset", "tourism", "data set: tourism, sales, energy, gen1k, gen10k")
+	configPath := flag.String("config", "", "load a saved configuration instead of running the advisor")
+	dbPath := flag.String("db", "", "open a saved database snapshot (see \\save)")
+	csvPath := flag.String("csv", "", "load a fact-table CSV instead of a built-in data set")
+	dimSpec := flag.String("dims", "", "dimension spec for -csv, e.g. \"product;location=city<region\"")
+	period := flag.Int("period", 1, "seasonal period for -csv data")
+	flag.Parse()
+
+	if *dbPath != "" {
+		fh, err := os.Open(*dbPath)
+		if err != nil {
+			fail(err)
+		}
+		db, err := f2db.LoadDatabase(fh, f2db.Options{Strategy: f2db.TimeBased{Every: 8}})
+		cerr := fh.Close()
+		if err != nil {
+			fail(err)
+		}
+		if cerr != nil {
+			fail(cerr)
+		}
+		fmt.Printf("opened %s: %d nodes, %d models\n", *dbPath, db.Graph().NumNodes(), db.Configuration().NumModels())
+		repl(db, db.Graph(), db.Configuration(), *dbPath)
+		return
+	}
+
+	var g *cube.Graph
+	name := *dataset
+	if *csvPath != "" {
+		specs, err := csvload.ParseSpec(*dimSpec)
+		if err != nil {
+			fail(err)
+		}
+		fh, err := os.Open(*csvPath)
+		if err != nil {
+			fail(err)
+		}
+		dims, base, err := csvload.Load(fh, specs, csvload.Options{Period: *period})
+		cerr := fh.Close()
+		if err != nil {
+			fail(err)
+		}
+		if cerr != nil {
+			fail(cerr)
+		}
+		g, err = cube.NewGraph(dims, base)
+		if err != nil {
+			fail(err)
+		}
+		name = *csvPath
+	} else {
+		ds, err := experiments.LoadDataset(*dataset, experiments.Quick)
+		if err != nil {
+			fail(err)
+		}
+		gg, err := ds.Graph()
+		if err != nil {
+			fail(err)
+		}
+		g = gg
+		name = ds.Name
+	}
+	var cfg *core.Configuration
+	if *configPath != "" {
+		fh, err := os.Open(*configPath)
+		if err != nil {
+			fail(err)
+		}
+		cfg, err = f2db.LoadConfiguration(fh, g)
+		cerr := fh.Close()
+		if err != nil {
+			fail(err)
+		}
+		if cerr != nil {
+			fail(cerr)
+		}
+		fmt.Printf("loaded configuration: %d models\n", cfg.NumModels())
+	} else {
+		fmt.Print("running advisor ... ")
+		c, err := core.Run(g, core.Options{Seed: 42})
+		if err != nil {
+			fail(err)
+		}
+		cfg = c
+		fmt.Printf("done: error=%.4f models=%d\n", cfg.Error(), cfg.NumModels())
+	}
+	db, err := f2db.Open(g, cfg, f2db.Options{Strategy: f2db.TimeBased{Every: 8}})
+	if err != nil {
+		fail(err)
+	}
+	repl(db, g, cfg, name)
+}
+
+// repl runs the interactive query loop.
+func repl(db *f2db.DB, g *cube.Graph, cfg *core.Configuration, name string) {
+	fmt.Printf("F²DB shell over %s (%d nodes). Type \\help for help.\n", name, g.NumNodes())
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("f2db> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\help`:
+			printHelp()
+		case line == `\stats`:
+			s := db.Stats()
+			fmt.Printf("queries=%d inserts=%d batches=%d reestimations=%d pending=%d invalid=%d\n",
+				s.Queries, s.Inserts, s.Batches, s.Reestimations, s.PendingInserts, db.InvalidCount())
+			fmt.Printf("query-time=%v maintenance-time=%v\n", s.QueryTime, s.MaintainTime)
+		case strings.HasPrefix(line, `\save `):
+			path := strings.TrimSpace(strings.TrimPrefix(line, `\save `))
+			fh, err := os.Create(path)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if err := f2db.SaveDatabase(fh, db); err != nil {
+				fmt.Println("error:", err)
+				fh.Close()
+				continue
+			}
+			if err := fh.Close(); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("database saved to %s (reopen with -db %s)\n", path, path)
+		case line == `\models`:
+			for _, id := range cfg.ModelIDs() {
+				fmt.Printf("  %-40s %s\n", g.Nodes[id].Key(g.Dims), cfg.Models[id].Name())
+			}
+		case line == `\health`:
+			keys := make([]string, 0)
+			health := db.Health()
+			for k := range health {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				h := health[k]
+				marker := ""
+				if h.Invalid {
+					marker = "  INVALID"
+				}
+				fmt.Printf("  %-40s %-8s updates=%-4d rolling-err=%.4f%s\n",
+					k, h.Family, h.UpdatesSinceFit, h.RollingError, marker)
+			}
+		case strings.HasPrefix(strings.ToLower(line), "insert"):
+			if err := db.Exec(line); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("ok")
+			}
+		default:
+			res, err := db.Query(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if res.Plan != "" {
+				fmt.Printf("node %s: %s\n", res.NodeKey, res.Plan)
+			}
+			for _, grp := range res.Groups {
+				rows := grp.Rows
+				if len(res.Groups) > 1 {
+					fmt.Printf("%s:\n", grp.NodeKey)
+				}
+				if len(rows) > 12 {
+					fmt.Printf("  (%d rows, last 12)\n", len(rows))
+					rows = rows[len(rows)-12:]
+				}
+				for _, r := range rows {
+					marker := ""
+					if res.Forecast {
+						marker = " (forecast)"
+					}
+					if r.Lo != 0 || r.Hi != 0 {
+						fmt.Printf("  t=%-6d %12.4f  [%.4f, %.4f]%s\n", r.T, r.Value, r.Lo, r.Hi, marker)
+					} else {
+						fmt.Printf("  t=%-6d %12.4f%s\n", r.T, r.Value, marker)
+					}
+				}
+			}
+		}
+	}
+}
+
+func printHelp() {
+	fmt.Print(`queries:
+  SELECT time, SUM(m)|AVG(m) FROM facts [WHERE <level> = '<member>' [AND ...]]
+         [GROUP BY time[, <level>]] [AS OF now() + '<n> <unit>']
+         [WITH INTERVAL <percent>]
+  GROUP BY a hierarchy level (e.g. city) drills down: one series per member.
+  WITH INTERVAL 95 adds prediction-interval bounds to forecast rows.
+  EXPLAIN SELECT ...            show the derivation scheme of the node
+  INSERT INTO facts VALUES ('<member>', ..., <value>)
+meta:
+  \stats   engine counters      \models      list models
+  \health  model maintenance    \save F      snapshot database
+  \help    this help            \quit        exit
+`)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "f2dbcli:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+package cubefc_test
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"cubefc"
+)
+
+// ExampleAdvise demonstrates the full pipeline on a tiny cube: build the
+// hyper graph, run the advisor, answer a forecast query.
+func ExampleAdvise() {
+	// Two flat dimensions: product and city.
+	dims := []cubefc.Dimension{
+		cubefc.NewDimension("product", "product"),
+		cubefc.NewDimension("city", "city"),
+	}
+	// Four deterministic seasonal base series (period 4, 24 quarters).
+	var base []cubefc.BaseSeries
+	for pi, p := range []string{"P1", "P2"} {
+		for ci, c := range []string{"C1", "C2"} {
+			vals := make([]float64, 24)
+			for t := range vals {
+				vals[t] = float64(40+10*pi+5*ci) * (1 + 0.25*math.Sin(2*math.Pi*float64(t%4)/4))
+			}
+			base = append(base, cubefc.BaseSeries{
+				Members: []string{p, c},
+				Series:  cubefc.NewSeries(vals, 4),
+			})
+		}
+	}
+	graph, err := cubefc.NewGraph(dims, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := cubefc.Advise(graph, cubefc.AdvisorOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := cubefc.OpenDB(graph, cfg, cubefc.DBOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Query("SELECT time, SUM(sales) FROM facts WHERE product = 'P1' GROUP BY time AS OF now() + '2 steps'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("nodes=%d forecast-steps=%d\n", graph.NumNodes(), len(res.Rows))
+	// Output:
+	// nodes=9 forecast-steps=2
+}
+
+// ExampleLoadCSV shows loading an external fact table, including a
+// functional-dependency hierarchy derived from the data.
+func ExampleLoadCSV() {
+	csvData := `time,product,city,region,value
+0,P1,C1,R1,10
+1,P1,C1,R1,11
+0,P1,C2,R2,20
+1,P1,C2,R2,21
+`
+	dims, base, err := cubefc.LoadCSV(strings.NewReader(csvData),
+		"product;location=city<region", cubefc.CSVOptions{Period: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	graph, err := cubefc.NewGraph(dims, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dims=%d base-series=%d nodes=%d\n", len(dims), len(base), graph.NumNodes())
+	// Output:
+	// dims=2 base-series=2 nodes=10
+}

@@ -1,0 +1,101 @@
+// Advertising: guaranteed display advertising (the paper's third
+// motivating domain) — forecasts of user visits along audience attributes.
+// The cube is high-dimensional (age group × gender × region), so modeling
+// every cell is infeasible; this example runs the advisor stepwise
+// (anytime) under an explicit model budget and shows the accuracy/cost
+// trade-off after every iteration.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"cubefc"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+	ages := []string{"18-24", "25-34", "35-44", "45-54", "55+"}
+	genders := []string{"f", "m"}
+	regions := []string{"north", "south", "east", "west", "central"}
+
+	dims := []cubefc.Dimension{
+		cubefc.NewDimension("age", "age"),
+		cubefc.NewDimension("gender", "gender"),
+		cubefc.NewDimension("region", "region"),
+	}
+
+	// 5 × 2 × 5 = 50 base series of daily user visits over 8 weeks with
+	// weekly seasonality; younger segments are more volatile.
+	const days, period = 56, 7
+	var base []cubefc.BaseSeries
+	for ai, age := range ages {
+		for _, g := range genders {
+			for _, r := range regions {
+				level := 800 + 500*rng.Float64()
+				noise := 0.05 + 0.04*float64(len(ages)-ai)
+				vals := make([]float64, days)
+				for t := range vals {
+					weekly := 1 + 0.25*math.Sin(2*math.Pi*float64(t%period)/period)
+					vals[t] = level * weekly * (1 + noise*rng.NormFloat64())
+				}
+				base = append(base, cubefc.BaseSeries{
+					Members: []string{age, g, r},
+					Series:  cubefc.NewSeries(vals, period),
+				})
+			}
+		}
+	}
+	graph, err := cubefc.NewGraph(dims, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("audience cube: %d base segments, %d queryable nodes\n\n", len(graph.BaseIDs), graph.NumNodes())
+
+	// Anytime operation (Section III-A): step the advisor manually, watch
+	// the error/cost trade-off, and stop at a strict model budget —
+	// real-time ad serving cannot afford maintaining hundreds of models.
+	const modelBudget = 12
+	adv, err := cubefc.NewAdvisor(graph, cubefc.AdvisorOptions{Seed: 99, MaxModels: modelBudget})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("advisor progress (anytime — could be interrupted after any row):")
+	for {
+		done, err := adv.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := adv.Configuration()
+		fmt.Printf("  models=%2d  overall SMAPE=%.4f  alpha=%.2f\n", cfg.NumModels(), cfg.Error(), adv.Alpha())
+		if done {
+			break
+		}
+	}
+	cfg := adv.Configuration()
+	fmt.Printf("\nfinal: %d models (budget %d), SMAPE %.4f — vs %d models for the direct approach\n\n",
+		cfg.NumModels(), modelBudget, cfg.Error(), graph.NumNodes())
+
+	db, err := cubefc.OpenDB(graph, cfg, cubefc.DBOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A publisher checking sellable inventory for a campaign target.
+	for _, q := range []string{
+		"SELECT time, SUM(visits) FROM facts WHERE age = '18-24' AND region = 'north' GROUP BY time AS OF now() + '7 steps'",
+		"SELECT time, SUM(visits) FROM facts WHERE gender = 'f' GROUP BY time AS OF now() + '7 steps'",
+	} {
+		res, err := db.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var total float64
+		for _, r := range res.Rows {
+			total += r.Value
+		}
+		fmt.Printf("%s\n  → %.0f visits over the next week\n", q, total)
+	}
+}

@@ -1,0 +1,102 @@
+// Quickstart: build the running example of the paper (Figure 1) — a sales
+// cube over products and cities with a city → region functional dependency
+// — let the advisor pick a model configuration, and answer the paper's two
+// forecast queries.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"cubefc"
+)
+
+func main() {
+	// Dimensions: product (flat) and location (city rolls up to region).
+	product := cubefc.NewDimension("product", "product")
+	location, err := cubefc.NewHierarchy("location",
+		[]string{"city", "region"},
+		[]map[string]string{{
+			"C1": "R1", "C2": "R1",
+			"C3": "R2", "C4": "R2",
+		}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Base series: 36 months of sales for every product × city cell.
+	// Cities in the same region share a seasonal pattern.
+	rng := rand.New(rand.NewSource(7))
+	regionPhase := map[string]float64{"R1": 0.0, "R2": 2.1}
+	cityOf := []string{"C1", "C2", "C3", "C4"}
+	regionOf := map[string]string{"C1": "R1", "C2": "R1", "C3": "R2", "C4": "R2"}
+	var base []cubefc.BaseSeries
+	for p := 1; p <= 4; p++ {
+		for _, city := range cityOf {
+			vals := make([]float64, 36)
+			level := 50 + 20*rng.Float64()
+			for t := range vals {
+				season := 1 + 0.3*math.Sin(2*math.Pi*float64(t)/12+regionPhase[regionOf[city]])
+				vals[t] = level * season * (1 + 0.05*rng.NormFloat64())
+			}
+			base = append(base, cubefc.BaseSeries{
+				Members: []string{fmt.Sprintf("P%d", p), city},
+				Series:  cubefc.NewSeries(vals, 12),
+			})
+		}
+	}
+
+	// The hyper graph holds every aggregation possibility (Section II-A).
+	graph, err := cubefc.NewGraph([]cubefc.Dimension{product, location}, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hyper graph: %d nodes over %d base series\n", graph.NumNodes(), len(graph.BaseIDs))
+
+	// The advisor selects which nodes get models and how every other node
+	// derives its forecasts (Sections III/IV).
+	cfg, err := cubefc.Advise(graph, cubefc.AdvisorOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("advisor: overall SMAPE %.4f with %d models (instead of %d)\n\n",
+		cfg.Error(), cfg.NumModels(), graph.NumNodes())
+
+	// Load the configuration into the embedded F²DB engine (Section V).
+	db, err := cubefc.OpenDB(graph, cfg, cubefc.DBOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Forecast Query 1 of the paper: product P4 in city C4, next day.
+	q1 := "SELECT time, sales FROM facts WHERE product = 'P4' AND city = 'C4' AS OF now() + '1 step'"
+	res, err := db.Query(q1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(q1)
+	for _, r := range res.Rows {
+		fmt.Printf("  t=%d  forecast=%.2f\n", r.T, r.Value)
+	}
+
+	// Forecast Query 2: product P4 aggregated over region R2.
+	q2 := "SELECT time, SUM(sales) FROM facts WHERE product = 'P4' AND region = 'R2' GROUP BY time AS OF now() + '3 steps'"
+	res, err = db.Query(q2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(q2)
+	for _, r := range res.Rows {
+		fmt.Printf("  t=%d  forecast=%.2f\n", r.T, r.Value)
+	}
+
+	// EXPLAIN shows which derivation scheme answers the node.
+	res, err = db.Query("EXPLAIN " + q2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: node %s → %s\n", res.NodeKey, res.Plan)
+}

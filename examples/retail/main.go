@@ -1,0 +1,113 @@
+// Retail: sales forecasting for supply-chain planning (the paper's first
+// motivating domain). Compares the advisor against the classical
+// hierarchical-forecasting baselines on a product × country sales cube,
+// persists the chosen configuration, and navigates forecasts with
+// drill-down queries.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"cubefc"
+	"cubefc/internal/datasets"
+)
+
+func main() {
+	ds := datasets.Sales(42)
+	graph, err := ds.Graph()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sales cube: %d base series (product × country), %d graph nodes, %d months\n\n",
+		len(graph.BaseIDs), graph.NumNodes(), graph.Length)
+
+	// Compare configuration strategies (Figure 7 style).
+	type builder struct {
+		name string
+		run  func() (*cubefc.Configuration, error)
+	}
+	builders := []builder{
+		{"direct (model per node)", func() (*cubefc.Configuration, error) { return cubefc.Direct(graph, cubefc.BaselineOptions{}) }},
+		{"bottom-up", func() (*cubefc.Configuration, error) { return cubefc.BottomUp(graph, cubefc.BaselineOptions{}) }},
+		{"top-down", func() (*cubefc.Configuration, error) { return cubefc.TopDown(graph, cubefc.BaselineOptions{}) }},
+		{"advisor", func() (*cubefc.Configuration, error) { return cubefc.Advise(graph, cubefc.AdvisorOptions{Seed: 42}) }},
+	}
+	var chosen *cubefc.Configuration
+	for _, b := range builders {
+		start := time.Now()
+		cfg, err := b.run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-26s error=%.4f models=%2d (%v)\n",
+			b.name, cfg.Error(), cfg.NumModels(), time.Since(start).Round(time.Millisecond))
+		chosen = cfg
+	}
+	fmt.Println()
+
+	// Persist the advisor's configuration (F²DB's two-table layout) and
+	// restore it — in production this is the handover from the offline
+	// advisor to the online engine.
+	var buf bytes.Buffer
+	if err := cubefc.SaveConfiguration(&buf, chosen); err != nil {
+		log.Fatal(err)
+	}
+	size := buf.Len()
+	restored, err := cubefc.LoadConfiguration(&buf, graph)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("configuration persisted (%d bytes) and restored: %d models\n\n", size, restored.NumModels())
+
+	db, err := cubefc.OpenDB(graph, restored, cubefc.DBOptions{StepDuration: 30 * 24 * time.Hour})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Planning session: total demand next quarter with uncertainty, then
+	// drill down country by country.
+	q := "SELECT time, SUM(sales) FROM facts GROUP BY time AS OF now() + '1 quarter' WITH INTERVAL 95"
+	res, err := db.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(q)
+	for _, r := range res.Rows {
+		fmt.Printf("  month t=%d  forecast=%.1f  [%.1f, %.1f]\n", r.T, r.Value, r.Lo, r.Hi)
+	}
+	plan, err := db.Query("EXPLAIN " + q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  derivation: %s\n\n", plan.Plan)
+
+	// One forecast series per country — a single multi-node query
+	// (Section II-A: "a query describes one or several nodes").
+	q = "SELECT time, country, SUM(sales) FROM facts GROUP BY time, country AS OF now() + '1 quarter'"
+	res, err = db.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(q)
+	for _, grp := range res.Groups {
+		var total float64
+		for _, r := range grp.Rows {
+			total += r.Value
+		}
+		fmt.Printf("  %-4s next-quarter total %.1f\n", grp.Member, total)
+	}
+
+	// Single-cell check for the DE planner.
+	q = "SELECT time, SUM(sales) FROM facts WHERE country = 'DE' AND product = 'P1' GROUP BY time AS OF now() + '1 quarter'"
+	res, err = db.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n" + q)
+	for _, r := range res.Rows {
+		fmt.Printf("  month t=%d  forecast=%.1f\n", r.T, r.Value)
+	}
+}

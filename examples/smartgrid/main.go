@@ -1,0 +1,84 @@
+// Smartgrid: real-time energy-demand forecasting (the paper's second
+// motivating domain). Streams new meter readings into the F²DB engine,
+// which batches them, advances the whole time-series graph, maintains
+// model states incrementally and re-estimates parameters lazily only when
+// an invalid model is hit by a query.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cubefc"
+	"cubefc/internal/datasets"
+	"cubefc/internal/f2db"
+	"cubefc/internal/workload"
+)
+
+func main() {
+	ds := datasets.Energy(42, datasets.EnergyOptions{Customers: 30, Days: 30})
+	graph, err := ds.Graph()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("energy cube: %d customers in districts, %d nodes, %d hourly readings\n",
+		len(graph.BaseIDs), graph.NumNodes(), graph.Length)
+
+	cfg, err := cubefc.Advise(graph, cubefc.AdvisorOptions{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("advisor: SMAPE %.4f with %d models\n\n", cfg.Error(), cfg.NumModels())
+
+	// Threshold-based invalidation: re-estimate a model only when its
+	// rolling one-step error degrades (Section V).
+	db, err := cubefc.OpenDB(graph, cfg, cubefc.DBOptions{
+		StepDuration: time.Hour,
+		Strategy:     f2db.ThresholdBased{MaxError: 0.25},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream 48 hours of new readings, asking for a day-ahead forecast of
+	// the grid total after every 6 hours.
+	gen := workload.New(graph, 42)
+	for hour := 1; hour <= 48; hour++ {
+		batch := gen.NextBatch()
+		for _, id := range graph.BaseIDs {
+			if err := db.InsertBase(id, batch[id]); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if hour%6 == 0 {
+			res, err := db.Query("SELECT time, SUM(demand) FROM facts GROUP BY time AS OF now() + '1 day'")
+			if err != nil {
+				log.Fatal(err)
+			}
+			var total float64
+			for _, r := range res.Rows {
+				total += r.Value
+			}
+			s := db.Stats()
+			fmt.Printf("hour %2d: day-ahead grid demand %.1f kWh (batches=%d reestimations=%d invalid=%d)\n",
+				hour, total, s.Batches, s.Reestimations, db.InvalidCount())
+		}
+	}
+
+	s := db.Stats()
+	fmt.Printf("\nstream done: %d inserts in %d batches, %d queries, %d re-estimations\n",
+		s.Inserts, s.Batches, s.Queries, s.Reestimations)
+	fmt.Printf("avg maintenance time per insert: %v\n", s.MaintainTime/time.Duration(s.Inserts))
+	fmt.Printf("avg query time: %v\n", s.QueryTime/time.Duration(s.Queries))
+
+	// District-level check: forecasts remain available at every level.
+	res, err := db.Query("SELECT time, SUM(demand) FROM facts WHERE district = 'district1' GROUP BY time AS OF now() + '6 hours'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndistrict1, next 6 hours:")
+	for _, r := range res.Rows {
+		fmt.Printf("  t=%d  %.2f kWh\n", r.T, r.Value)
+	}
+}

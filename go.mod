@@ -1,0 +1,3 @@
+module cubefc
+
+go 1.22

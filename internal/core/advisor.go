@@ -1,0 +1,759 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"cubefc/internal/cube"
+	"cubefc/internal/derivation"
+	"cubefc/internal/forecast"
+	"cubefc/internal/indicator"
+	"cubefc/internal/optimize"
+	"cubefc/internal/timeseries"
+)
+
+// Advisor runs the iterative model-configuration search of Sections III/IV.
+// Use Run for the common case; NewAdvisor/Step expose the iteration
+// machinery for fine-grained (anytime) control.
+type Advisor struct {
+	g    *cube.Graph
+	opts Options
+	cfg  *Configuration
+
+	// locals holds the local indicator array of every node that carries a
+	// model; candLoc caches locals computed for candidates during ranking
+	// ("if not already present", Section IV-A.2).
+	locals  map[int]*indicator.Local
+	candLoc map[int]*indicator.Local
+	global  *indicator.Global
+
+	// modelFc caches the test-horizon forecast of every model, making
+	// scheme evaluation cheap.
+	modelFc map[int][]float64
+
+	rejected map[int]bool // nodes marked never to be selected again
+
+	alpha   float64
+	gamma   float64
+	candCap int // adaptive bound on ranked candidates per iteration
+	indK    int // |I|: targets per local indicator
+
+	errSum            float64 // running sum of node errors (uncovered = 1)
+	err0              float64 // error of the initial one-model configuration
+	rejectsSinceAlpha int
+	alphaExhausted    bool
+	iter              int
+	rng               *rand.Rand
+
+	lastSelTime  time.Duration
+	lastEvalTime time.Duration
+
+	// prober is the optional asynchronous multi-source planning
+	// component (Section IV-C.2).
+	prober       *asyncProber
+	proberClosed bool
+}
+
+// Run executes the advisor until a stop criterion fires and returns the
+// final configuration.
+func Run(g *cube.Graph, opts Options) (*Configuration, error) {
+	a, err := NewAdvisor(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer a.Close()
+	for {
+		done, err := a.Step()
+		if err != nil {
+			return a.Configuration(), err
+		}
+		if done {
+			return a.Configuration(), nil
+		}
+	}
+}
+
+// NewAdvisor initializes the advisor: it splits the series, derives the
+// indicator size |I| and the initial γ, creates the initial configuration
+// holding a single model at the top node (as in the running example of
+// Figure 4) and seeds all indicators.
+func NewAdvisor(g *cube.Graph, opts Options) (*Advisor, error) {
+	opts = opts.withDefaults()
+	trainLen := int(math.Round(opts.TrainRatio * float64(g.Length)))
+	if trainLen >= g.Length {
+		trainLen = g.Length - 1
+	}
+	if trainLen < 2 {
+		return nil, fmt.Errorf("core: series too short: %d observations", g.Length)
+	}
+	a := &Advisor{
+		g:        g,
+		opts:     opts,
+		cfg:      NewConfiguration(g, trainLen),
+		locals:   make(map[int]*indicator.Local),
+		candLoc:  make(map[int]*indicator.Local),
+		global:   indicator.NewGlobal(g.NumNodes()),
+		modelFc:  make(map[int][]float64),
+		rejected: make(map[int]bool),
+		alpha:    opts.Alpha0,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+	}
+	if a.opts.Indicator.HistoryLen <= 0 || a.opts.Indicator.HistoryLen > trainLen {
+		a.opts.Indicator.HistoryLen = trainLen
+	}
+
+	// Derive |I| (Section IV-C.1): either a fixed fraction of the graph,
+	// or from the memory budget so that locals for a generous number of
+	// nodes fit.
+	n := g.NumNodes()
+	switch {
+	case opts.IndicatorFraction > 0:
+		a.indK = int(math.Ceil(opts.IndicatorFraction * float64(n-1)))
+	default:
+		holders := n
+		if holders > 1024 {
+			holders = 1024
+		}
+		a.indK = opts.IndicatorEntries / holders
+	}
+	if a.indK < 1 {
+		a.indK = 1
+	}
+	if a.indK > n-1 {
+		a.indK = n - 1
+	}
+
+	// Initial γ: assume normally distributed indicator values and choose
+	// γ so that the expected number of positive candidates roughly
+	// equals the number of processors (Section IV-C.1).
+	if opts.Gamma0 != 0 {
+		a.gamma = opts.Gamma0
+	} else {
+		frac := float64(opts.Parallelism) / float64(n)
+		if frac >= 0.5 {
+			a.gamma = 0
+		} else {
+			a.gamma = optimize.InvNormCDF(1 - frac)
+		}
+	}
+	a.candCap = 2 * opts.Parallelism
+
+	// Start with all nodes uncovered (worst error), then install the
+	// initial model at the top node.
+	a.errSum = float64(n)
+	if opts.AsyncMultiSource {
+		a.startAsyncProber()
+	}
+	if err := a.installInitialModel(); err != nil {
+		a.Close()
+		return nil, err
+	}
+	a.publishModelSnapshot()
+	// The initial error anchors the error/cost normalization of the
+	// acceptance criterion (eq. 8): error enters relative to the initial
+	// configuration, costs relative to modeling the whole graph, making
+	// both dimensionless and comparable across data sets.
+	a.err0 = a.cfg.Error()
+	if a.err0 < 1e-9 {
+		a.err0 = 1e-9
+	}
+	return a, nil
+}
+
+// Configuration returns the advisor's current configuration. The advisor
+// may be interrupted at any time and the configuration stays valid
+// (anytime property, Section III-A).
+func (a *Advisor) Configuration() *Configuration { return a.cfg }
+
+// Alpha returns the current acceptance parameter α.
+func (a *Advisor) Alpha() float64 { return a.alpha }
+
+// Gamma returns the current preselection parameter γ.
+func (a *Advisor) Gamma() float64 { return a.gamma }
+
+// IndicatorSize returns the derived |I| (targets per local indicator).
+func (a *Advisor) IndicatorSize() int { return a.indK }
+
+// currentErr returns the node's error under the current configuration,
+// counting uncovered nodes with the worst SMAPE.
+func (a *Advisor) currentErr(id int) float64 {
+	if e, ok := a.cfg.Errors[id]; ok {
+		return e
+	}
+	return 1
+}
+
+// setScheme assigns a scheme and error to a node, maintaining the running
+// error sum.
+func (a *Advisor) setScheme(sc derivation.Scheme, err float64) {
+	a.errSum += err - a.currentErr(sc.Target)
+	a.cfg.Schemes[sc.Target] = sc
+	a.cfg.Errors[sc.Target] = err
+}
+
+// fitWithFallback fits the configured model family, degrading to simpler
+// families when the training series is too short for the requested one.
+func (a *Advisor) fitWithFallback(id int) (forecast.Model, time.Duration, error) {
+	m, d, err := a.cfg.FitModel(a.opts.ModelFactory, id, a.opts.CreationDelay)
+	if err == nil {
+		return m, d, nil
+	}
+	for _, fb := range []forecast.Factory{
+		func(p int) forecast.Model { return forecast.NewHolt(false) },
+		func(p int) forecast.Model { return forecast.NewSES() },
+		func(p int) forecast.Model { return forecast.NewNaive() },
+	} {
+		var m2 forecast.Model
+		var d2 time.Duration
+		m2, d2, err = a.cfg.FitModel(fb, id, 0)
+		if err == nil {
+			return m2, d + d2, nil
+		}
+		d += d2
+	}
+	return nil, d, fmt.Errorf("core: no model family fits node %d: %w", id, err)
+}
+
+// installInitialModel creates the first model at the top node, derives every
+// node from it (disaggregation, Figure 3c) and seeds the indicators.
+func (a *Advisor) installInitialModel() error {
+	top := a.g.TopID
+	m, dur, err := a.fitWithFallback(top)
+	if err != nil {
+		return err
+	}
+	a.addModel(top, m, dur)
+	return nil
+}
+
+// addModel inserts an accepted model into the configuration: stores it,
+// caches its test forecast, merges its local indicator into the global one
+// and (re-)assigns improving schemes for every node it can serve.
+func (a *Advisor) addModel(id int, m forecast.Model, dur time.Duration) {
+	a.cfg.Models[id] = m
+	secs := dur.Seconds()
+	a.cfg.ModelSeconds[id] = secs
+	a.cfg.CostSeconds += secs
+	fc := m.Forecast(a.cfg.TestLen())
+	a.modelFc[id] = fc
+
+	// Local indicator: reuse the ranked candidate's local when present.
+	local, ok := a.candLoc[id]
+	if !ok {
+		local = a.computeLocal(id)
+	}
+	delete(a.candLoc, id)
+	a.locals[id] = local
+	a.global.Merge(local)
+
+	// Direct scheme at the node itself.
+	direct := derivation.DirectScheme(id)
+	if e := timeseries.SMAPE(a.cfg.testValues(id), fc); !math.IsNaN(e) && e < a.currentErr(id) {
+		a.setScheme(direct, e)
+	} else if _, has := a.cfg.Schemes[id]; !has {
+		// A model node must always carry a scheme; keep the direct one
+		// even when derivation from elsewhere was better so far.
+		a.setScheme(direct, clampErr(timeseries.SMAPE(a.cfg.testValues(id), fc)))
+	}
+
+	// Derivation schemes for every target the local indicator covers —
+	// and, for the very first model, for the entire graph so the initial
+	// configuration has a valid scheme everywhere.
+	targets := make([]int, 0, len(local.Values))
+	for t := range local.Values {
+		targets = append(targets, t)
+	}
+	if len(a.cfg.Models) == 1 {
+		targets = targets[:0]
+		for t := 0; t < a.g.NumNodes(); t++ {
+			targets = append(targets, t)
+		}
+	}
+	sort.Ints(targets)
+	for _, t := range targets {
+		if t == id {
+			continue
+		}
+		if sc, e, ok := a.evalSingleSource(id, t); ok && e < a.currentErr(t) {
+			a.setScheme(sc, e)
+		}
+	}
+
+	// Aggregation check (Figure 3b): if this model completes a child
+	// hyper edge of one of its parents, evaluate the classical
+	// aggregation scheme for that parent.
+	for d, pid := range a.g.Nodes[id].ParentIDs {
+		if pid < 0 {
+			continue
+		}
+		edge := a.g.Nodes[pid].ChildEdges[d]
+		complete := true
+		for _, c := range edge {
+			if _, ok := a.cfg.Models[c]; !ok {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
+		if sc, e, ok := a.evalScheme(pid, edge); ok && e < a.currentErr(pid) {
+			sc.Kind = derivation.Aggregation
+			a.setScheme(sc, e)
+		}
+	}
+}
+
+// evalSingleSource evaluates the generalized single-source scheme s → t
+// using the cached model forecast of s, returning the scheme and its real
+// test error.
+func (a *Advisor) evalSingleSource(s, t int) (derivation.Scheme, float64, bool) {
+	return a.evalScheme(t, []int{s})
+}
+
+// evalScheme evaluates the scheme sources → t on the test horizon. All
+// sources must have cached forecasts.
+func (a *Advisor) evalScheme(t int, sources []int) (derivation.Scheme, float64, bool) {
+	fcs := make([][]float64, len(sources))
+	for i, s := range sources {
+		fc, ok := a.modelFc[s]
+		if !ok {
+			return derivation.Scheme{}, 0, false
+		}
+		fcs[i] = fc
+	}
+	sc, err := derivation.NewScheme(a.g, t, sources, a.cfg.TrainLen)
+	if err != nil {
+		return derivation.Scheme{}, 0, false
+	}
+	e, err := a.cfg.SchemeError(sc, fcs)
+	if err != nil || math.IsNaN(e) {
+		return derivation.Scheme{}, 0, false
+	}
+	return sc, clampErr(e), true
+}
+
+// computeLocal builds the local indicator of a node over its |I| closest
+// graph neighbors.
+func (a *Advisor) computeLocal(id int) *indicator.Local {
+	targets := a.g.ClosestNodes(id, a.indK)
+	return indicator.ComputeLocal(a.g, id, targets, a.opts.Indicator)
+}
+
+// ErrStopped is returned by Step after the advisor has already terminated.
+var ErrStopped = errors.New("core: advisor already terminated")
+
+// Step executes one full advisor iteration (candidate selection →
+// evaluation → control → output) and reports whether a stop criterion
+// fired.
+func (a *Advisor) Step() (done bool, err error) {
+	if a.alphaExhausted {
+		return true, ErrStopped
+	}
+	select {
+	case <-a.opts.Context.Done():
+		return true, nil
+	default:
+	}
+	a.iter++
+	snap := Snapshot{Iteration: a.iter, Alpha: a.alpha, Gamma: a.gamma}
+
+	// --- Phase 1: candidate selection -------------------------------
+	selStart := time.Now()
+	positives, negatives := a.preselect()
+	ranked := a.rank(positives)
+	snap.Candidates = len(ranked)
+	a.lastSelTime = time.Since(selStart)
+
+	// --- Phase 2: evaluation -----------------------------------------
+	evalStart := time.Now()
+	errBefore := a.cfg.Error()
+	created, accepted, rejectedN := a.evaluate(ranked)
+	deleted := 0
+	if !a.opts.DisableDeletion {
+		deleted = a.tryDeletion(negatives)
+	}
+	a.lastEvalTime = time.Since(evalStart)
+	snap.Created, snap.Accepted, snap.Rejected, snap.Deleted = created, accepted, rejectedN, deleted
+
+	// --- Phase 3: control --------------------------------------------
+	improvement := errBefore - a.cfg.Error()
+	a.control(len(ranked), accepted, rejectedN, improvement)
+	if a.opts.AsyncMultiSource {
+		a.publishModelSnapshot()
+		a.drainAsyncProbes()
+	} else {
+		a.multiSourceProbes()
+	}
+
+	// --- Phase 4: output ----------------------------------------------
+	snap.Error = a.cfg.Error()
+	snap.Models = a.cfg.NumModels()
+	snap.CostSeconds = a.cfg.CostSeconds
+	snap.SelectionTime = a.lastSelTime
+	snap.EvalTime = a.lastEvalTime
+	if a.opts.OnIteration != nil {
+		a.opts.OnIteration(snap)
+	}
+	return a.shouldStop(len(positives)), nil
+}
+
+// preselect implements eq. 5 and 6: positive candidates are nodes whose
+// global indicator exceeds E(I) + γ·σ(I); negative candidates are nodes
+// with an indicator of zero (i.e. nodes carrying a model).
+func (a *Advisor) preselect() (positives, negatives []int) {
+	mean, std := a.global.MeanStd()
+	threshold := mean + a.gamma*std
+	for id, v := range a.global.Values {
+		if _, hasModel := a.cfg.Models[id]; hasModel {
+			if v == 0 {
+				negatives = append(negatives, id)
+			}
+			continue
+		}
+		if a.rejected[id] {
+			continue
+		}
+		if v > threshold {
+			positives = append(positives, id)
+		}
+	}
+	return positives, negatives
+}
+
+// rank orders the positive candidates by expected benefit: each candidate
+// gets a local indicator (cached across iterations) and candidates are
+// sorted by the global-indicator sum that would result from merging it —
+// lowest first (Section IV-A.2). The candidate set is truncated to the
+// adaptive cap before the (expensive) local-indicator computation; the
+// truncation keeps the worst-covered nodes, which are the ones preselection
+// targets.
+func (a *Advisor) rank(positives []int) []int {
+	if len(positives) == 0 {
+		return nil
+	}
+	sort.Slice(positives, func(i, j int) bool {
+		vi, vj := a.global.Values[positives[i]], a.global.Values[positives[j]]
+		if vi != vj {
+			return vi > vj
+		}
+		return positives[i] < positives[j]
+	})
+	if len(positives) > a.candCap {
+		positives = positives[:a.candCap]
+	}
+
+	// Compute missing locals in parallel — indicator creation is the
+	// dominant cost of the selection phase. The missing set is collected
+	// first so the goroutines never race with map reads.
+	var missing []int
+	for _, id := range positives {
+		if _, ok := a.candLoc[id]; !ok {
+			missing = append(missing, id)
+		}
+	}
+	computed := make([]*indicator.Local, len(missing))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, a.opts.Parallelism)
+	for i, id := range missing {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i, id int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			computed[i] = a.computeLocal(id)
+		}(i, id)
+	}
+	wg.Wait()
+	for i, id := range missing {
+		a.candLoc[id] = computed[i]
+	}
+
+	type scored struct {
+		id  int
+		sum float64
+	}
+	scoredList := make([]scored, len(positives))
+	for i, id := range positives {
+		scoredList[i] = scored{id: id, sum: a.global.MergedSum(a.candLoc[id])}
+	}
+	sort.Slice(scoredList, func(i, j int) bool {
+		if scoredList[i].sum != scoredList[j].sum {
+			return scoredList[i].sum < scoredList[j].sum
+		}
+		return scoredList[i].id < scoredList[j].id
+	})
+	out := make([]int, len(scoredList))
+	for i, s := range scoredList {
+		out[i] = s.id
+	}
+	return out
+}
+
+// evaluate creates models for the top-n ranked candidates in parallel
+// (n bounded by the processor count, Section IV-B.1) and applies the
+// acceptance criterion (eq. 7/8) to each in rank order.
+func (a *Advisor) evaluate(ranked []int) (created, accepted, rejected int) {
+	n := a.opts.Parallelism
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	chosen := ranked[:n]
+
+	type fitResult struct {
+		id  int
+		m   forecast.Model
+		dur time.Duration
+		err error
+	}
+	results := make([]fitResult, len(chosen))
+	var wg sync.WaitGroup
+	for i, id := range chosen {
+		wg.Add(1)
+		go func(i, id int) {
+			defer wg.Done()
+			m, dur, err := a.fitWithFallback(id)
+			results[i] = fitResult{id: id, m: m, dur: dur, err: err}
+		}(i, id)
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		if a.opts.MaxModels > 0 && a.cfg.NumModels() >= a.opts.MaxModels {
+			break // model budget exhausted mid-iteration
+		}
+		if r.err != nil {
+			a.rejected[r.id] = true
+			rejected++
+			continue
+		}
+		created++
+		if a.acceptModel(r.id, r.m, r.dur) {
+			accepted++
+		} else {
+			rejected++
+			a.rejectsSinceAlpha++
+		}
+	}
+	return created, accepted, rejected
+}
+
+// acceptModel evaluates the real benefit of the fitted model and applies
+// the generalized acceptance criterion (eq. 8). On acceptance the model is
+// installed; on rejection with no error improvement at all, the node is
+// marked so it is never selected again (Section IV-B.2).
+func (a *Advisor) acceptModel(id int, m forecast.Model, dur time.Duration) bool {
+	testLen := a.cfg.TestLen()
+	fc := m.Forecast(testLen)
+
+	// Candidate error sum: apply all improving schemes hypothetically.
+	a.modelFc[id] = fc // temporarily visible for evalScheme
+	newErrSum := a.errSum
+	if e := timeseries.SMAPE(a.cfg.testValues(id), fc); !math.IsNaN(e) {
+		if ce := clampErr(e); ce < a.currentErr(id) {
+			newErrSum += ce - a.currentErr(id)
+		}
+	}
+	local, ok := a.candLoc[id]
+	if !ok {
+		local = a.computeLocal(id)
+		a.candLoc[id] = local
+	}
+	for t := range local.Values {
+		if t == id {
+			continue
+		}
+		if _, e, ok := a.evalSingleSource(id, t); ok && e < a.currentErr(t) {
+			newErrSum += e - a.currentErr(t)
+		}
+	}
+
+	nodes := float64(a.g.NumNodes())
+	errOld := a.errSum / nodes / a.err0
+	errNew := newErrSum / nodes / a.err0
+	costOld := a.normalizedCost(a.cfg.NumModels(), a.cfg.CostSeconds)
+	costNew := a.normalizedCost(a.cfg.NumModels()+1, a.cfg.CostSeconds+dur.Seconds())
+
+	if a.alpha*errNew+(1-a.alpha)*costNew < a.alpha*errOld+(1-a.alpha)*costOld {
+		a.addModel(id, m, dur)
+		return true
+	}
+	delete(a.modelFc, id)
+	if errNew >= errOld {
+		a.rejected[id] = true
+	}
+	return false
+}
+
+// normalizedCost maps the configuration cost into [0, 1] so it is
+// comparable with the SMAPE-based error in eq. 8.
+func (a *Advisor) normalizedCost(models int, seconds float64) float64 {
+	switch a.opts.CostMetric {
+	case CostTime:
+		// Normalize by the estimated cost of modeling every node, using
+		// the running average creation time.
+		if models == 0 {
+			return 0
+		}
+		avg := seconds / float64(models)
+		total := avg * float64(a.g.NumNodes())
+		if total == 0 {
+			return 0
+		}
+		return seconds / total
+	default:
+		return float64(models) / float64(a.g.NumNodes())
+	}
+}
+
+// tryDeletion examines the lowest-benefit model (the first of the ranked
+// negative candidates) and removes it when the acceptance criterion favors
+// the cheaper configuration (Section IV-B.2, "removes nodes that have been
+// added too greedy").
+func (a *Advisor) tryDeletion(negatives []int) int {
+	if len(negatives) == 0 || a.cfg.NumModels() <= 1 {
+		return 0
+	}
+	// Rank ascending by contribution to the current global indicator:
+	// the benefit of model m is how much coverage it provides as the
+	// argmin source.
+	benefit := make(map[int]float64, len(negatives))
+	for _, id := range negatives {
+		benefit[id] = 0
+	}
+	for t, src := range a.global.Source {
+		if src < 0 {
+			continue
+		}
+		if _, ok := benefit[src]; ok {
+			benefit[src] += indicator.Worst - a.global.Values[t]
+		}
+	}
+	sort.Slice(negatives, func(i, j int) bool {
+		bi, bj := benefit[negatives[i]], benefit[negatives[j]]
+		if bi != bj {
+			return bi < bj
+		}
+		return negatives[i] < negatives[j]
+	})
+
+	victim := negatives[0]
+	reassign, newErrSum, ok := a.planRemoval(victim)
+	if !ok {
+		return 0
+	}
+	nodes := float64(a.g.NumNodes())
+	errOld := a.errSum / nodes / a.err0
+	errNew := newErrSum / nodes / a.err0
+	costOld := a.normalizedCost(a.cfg.NumModels(), a.cfg.CostSeconds)
+	costNew := a.normalizedCost(a.cfg.NumModels()-1, a.cfg.CostSeconds-a.cfg.ModelSeconds[victim])
+	if a.alpha*errNew+(1-a.alpha)*costNew >= a.alpha*errOld+(1-a.alpha)*costOld {
+		return 0
+	}
+
+	// Apply the removal.
+	a.cfg.CostSeconds -= a.cfg.ModelSeconds[victim]
+	delete(a.cfg.ModelSeconds, victim)
+	delete(a.cfg.Models, victim)
+	delete(a.modelFc, victim)
+	delete(a.locals, victim)
+	a.global = indicator.Rebuild(a.g.NumNodes(), a.locals)
+	for _, ra := range reassign {
+		a.setScheme(ra.scheme, ra.err)
+	}
+	return 1
+}
+
+type reassignment struct {
+	scheme derivation.Scheme
+	err    float64
+}
+
+// planRemoval computes, without mutating state, the scheme reassignments
+// and resulting error sum if the model at victim were removed. Every node
+// whose scheme references the victim is re-derived from the best remaining
+// model (single-source schemes over the cached forecasts).
+func (a *Advisor) planRemoval(victim int) ([]reassignment, float64, bool) {
+	var affected []int
+	for t, sc := range a.cfg.Schemes {
+		for _, s := range sc.Sources {
+			if s == victim {
+				affected = append(affected, t)
+				break
+			}
+		}
+	}
+	sort.Ints(affected)
+	newErrSum := a.errSum
+	reassign := make([]reassignment, 0, len(affected))
+	remaining := a.cfg.ModelIDs()
+	for _, t := range affected {
+		bestErr := math.Inf(1)
+		var bestScheme derivation.Scheme
+		found := false
+		for _, s := range remaining {
+			if s == victim {
+				continue
+			}
+			if sc, e, ok := a.evalSingleSource(s, t); ok && e < bestErr {
+				bestErr, bestScheme, found = e, sc, true
+			}
+		}
+		if !found {
+			// A node would become unanswerable; veto the deletion.
+			return nil, 0, false
+		}
+		newErrSum += bestErr - a.currentErr(t)
+		reassign = append(reassign, reassignment{scheme: bestScheme, err: bestErr})
+	}
+	return reassign, newErrSum, true
+}
+
+// shouldStop evaluates the stop criteria of Section IV-D.
+func (a *Advisor) shouldStop(positives int) bool {
+	if a.alpha > a.opts.AlphaMax {
+		a.alphaExhausted = true
+		return true
+	}
+	if a.opts.MaxIterations > 0 && a.iter >= a.opts.MaxIterations {
+		return true
+	}
+	if a.opts.TargetError > 0 && a.cfg.Error() <= a.opts.TargetError {
+		return true
+	}
+	if a.opts.MaxModels > 0 && a.cfg.NumModels() >= a.opts.MaxModels {
+		return true
+	}
+	if a.opts.MaxCostSeconds > 0 && a.cfg.CostSeconds >= a.opts.MaxCostSeconds {
+		return true
+	}
+	if positives == 0 && a.alpha >= a.opts.AlphaMax &&
+		(a.opts.FixedGamma || a.gamma <= -2+1e-9) {
+		// Nothing left to examine even with a fully widened preselection
+		// net (or a pinned one), and α cannot grow further.
+		a.alphaExhausted = true
+		return true
+	}
+	return false
+}
+
+func clampErr(e float64) float64 {
+	if math.IsNaN(e) {
+		return 1
+	}
+	if e < 0 {
+		return 0
+	}
+	if e > 1 {
+		return 1
+	}
+	return e
+}

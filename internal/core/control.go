@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"cubefc/internal/derivation"
+)
+
+// control implements the parameter regulation of Section IV-C.1: γ follows
+// the balance between candidate-selection time and evaluation time, the
+// candidate cap follows γ, and α climbs its schedule when rejects pile up
+// or improvements stall.
+func (a *Advisor) control(candidates, accepted, rejected int, improvement float64) {
+	// γ / candidate-cap regulation: the candidate selection phase
+	// "should not be more expensive than the evaluation phase" — when
+	// evaluation dominates (expensive model creation), analyze more
+	// candidates to pick better models; when selection dominates, shrink
+	// the candidate set.
+	if !a.opts.FixedGamma {
+		switch {
+		case candidates == 0:
+			// The preselection net caught nothing; widen it.
+			a.gamma -= 0.2
+		case accepted+rejected > 0 && a.lastSelTime > a.lastEvalTime*5/4:
+			a.gamma += 0.1
+			if a.candCap > a.opts.Parallelism {
+				a.candCap /= 2
+				if a.candCap < a.opts.Parallelism {
+					a.candCap = a.opts.Parallelism
+				}
+			}
+		case accepted+rejected > 0 && a.lastSelTime*4 < a.lastEvalTime:
+			a.gamma -= 0.1
+			if a.candCap < 64*a.opts.Parallelism {
+				a.candCap *= 2
+			}
+		}
+		if a.gamma > 6 {
+			a.gamma = 6
+		}
+		if a.gamma < -2 {
+			a.gamma = -2
+		}
+	}
+
+	// α schedule (Section IV-C.1): increase if (1) a certain number of
+	// rejects occurred, (2) no candidates were found, or (3) the error
+	// improvement is too small.
+	raise := false
+	if a.rejectsSinceAlpha >= a.opts.RejectsPerAlphaStep {
+		raise = true
+	}
+	if candidates == 0 && (a.opts.FixedGamma || a.gamma <= -2+1e-9) {
+		// Nothing left to examine: either the net is fully widened, or
+		// the γ feedback is disabled and cannot widen it.
+		raise = true
+	}
+	if accepted > 0 && improvement < a.opts.MinErrorImprovement*a.err0 {
+		raise = true
+	}
+	if raise {
+		a.alpha += a.opts.AlphaStep
+		a.rejectsSinceAlpha = 0
+	}
+}
+
+// multiSourceProbes implements the optimization component of Section
+// IV-C.2: randomized derivation schemes with multiple source nodes. Each
+// probe selects a target and a small source set of model nodes, preferring
+// sources close to the target, evaluates the scheme's real error and
+// applies it when it improves the configuration. Probes are evaluated
+// concurrently; applications happen in deterministic probe order.
+func (a *Advisor) multiSourceProbes() {
+	probes := a.opts.MultiSourceProbes
+	if probes <= 0 || a.cfg.NumModels() < 2 {
+		return
+	}
+	modelIDs := a.cfg.ModelIDs()
+
+	type probe struct {
+		target  int
+		sources []int
+	}
+	plans := make([]probe, 0, probes)
+	for i := 0; i < probes; i++ {
+		t := a.rng.Intn(a.g.NumNodes())
+		// Order model nodes by BFS proximity to the target; fall back to
+		// the full model list for distant targets.
+		near := a.g.ClosestNodes(t, a.indK)
+		var pool []int
+		for _, id := range near {
+			if _, ok := a.cfg.Models[id]; ok {
+				pool = append(pool, id)
+			}
+		}
+		if len(pool) < 2 {
+			pool = modelIDs
+		}
+		want := 2 + a.rng.Intn(2) // 2 or 3 sources
+		if want > len(pool) {
+			want = len(pool)
+		}
+		// Geometric preference for close sources: walk the
+		// proximity-ordered pool and pick with decaying probability.
+		chosen := make(map[int]bool, want)
+		for len(chosen) < want {
+			for _, id := range pool {
+				if len(chosen) >= want {
+					break
+				}
+				if chosen[id] {
+					continue
+				}
+				if a.rng.Float64() < 0.5 {
+					chosen[id] = true
+				}
+			}
+		}
+		srcs := make([]int, 0, len(chosen))
+		for id := range chosen {
+			srcs = append(srcs, id)
+		}
+		sort.Ints(srcs)
+		plans = append(plans, probe{target: t, sources: srcs})
+	}
+
+	type outcome struct {
+		ok     bool
+		scheme derivation.Scheme
+		err    float64
+	}
+	results := make([]outcome, len(plans))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, a.opts.Parallelism)
+	for i, p := range plans {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, p probe) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sc, e, ok := a.evalScheme(p.target, p.sources)
+			results[i] = outcome{ok: ok, scheme: sc, err: e}
+		}(i, p)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.ok && r.err < a.currentErr(r.scheme.Target) {
+			a.setScheme(r.scheme, r.err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"cubefc/internal/cube"
+	"cubefc/internal/forecast"
+	"cubefc/internal/timeseries"
+)
+
+// failingModel always refuses to fit.
+type failingModel struct{ forecast.Naive }
+
+func (f *failingModel) Fit(*timeseries.Series) error { return errors.New("injected failure") }
+func (f *failingModel) Name() string                 { return "failing" }
+
+// flakyFactory fails for a subset of fits, simulating model families that
+// cannot handle certain series. Factories are invoked from parallel fit
+// workers, so the counter must be atomic.
+func flakyFactory() forecast.Factory {
+	var n atomic.Int64
+	return func(p int) forecast.Model {
+		if n.Add(1)%2 == 0 {
+			return &failingModel{}
+		}
+		return forecast.NewHoltWinters(p, forecast.Additive)
+	}
+}
+
+func TestAdvisorFallsBackOnFitFailure(t *testing.T) {
+	g := seasonalCube(t, 30)
+	// A factory that always fails must still produce a valid run: the
+	// fallback chain (Holt → SES → naive) takes over.
+	cfg, err := Run(g, Options{
+		Seed:         30,
+		ModelFactory: func(p int) forecast.Model { return &failingModel{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumModels() < 1 {
+		t.Fatal("no models despite fallback chain")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for id, m := range cfg.Models {
+		if m.Name() == "failing" {
+			t.Fatalf("node %d kept the failing model", id)
+		}
+	}
+}
+
+func TestAdvisorSurvivesFlakyFactory(t *testing.T) {
+	g := seasonalCube(t, 31)
+	cfg, err := Run(g, Options{Seed: 31, ModelFactory: flakyFactory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Error() >= 1 {
+		t.Fatalf("error = %v", cfg.Error())
+	}
+}
+
+func TestAdvisorShortSeriesFallback(t *testing.T) {
+	// Series too short for Holt-Winters (needs 2 periods + 1): the
+	// fallback must kick in rather than fail the run.
+	loc := cube.NewDimension("loc", "loc")
+	var base []cube.BaseSeries
+	for _, m := range []string{"A", "B", "C"} {
+		vals := []float64{10, 12, 11, 13, 12, 14, 13, 15}
+		base = append(base, cube.BaseSeries{Members: []string{m}, Series: timeseries.New(vals, 12)})
+	}
+	g, err := cube.NewGraph([]cube.Dimension{loc}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Run(g, Options{Seed: 32}) // default factory = HW with period 12, unfittable on 6 training obs
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range cfg.Models {
+		if m.Name() == "hw-add" {
+			t.Fatal("HW cannot fit 6 training observations with period 12")
+		}
+	}
+}
+
+func TestGreedyWithFailingFactoryFallsBack(t *testing.T) {
+	g := seasonalCube(t, 33)
+	// Exercised through the hierarchical package in its own tests; here
+	// we only assert the shared fallback helper behavior via FitModel.
+	cfg := NewConfiguration(g, 32)
+	_, _, err := cfg.FitModel(func(p int) forecast.Model { return &failingModel{} }, 0, 0)
+	if err == nil {
+		t.Fatal("FitModel must surface the fit error (fallback is the caller's job)")
+	}
+}

@@ -1,0 +1,400 @@
+package cube
+
+import (
+	"fmt"
+	"sort"
+
+	"cubefc/internal/timeseries"
+)
+
+// Node is one vertex of the time-series hyper graph: a base or aggregated
+// time series identified by its coordinate.
+type Node struct {
+	ID    int
+	Coord Coord
+	// Series holds the (base or SUM-aggregated) time series of this node.
+	Series *timeseries.Series
+	// ChildEdges contains one hyper edge per dimension that is aggregated
+	// at this node: ChildEdges[d] lists the node IDs whose aggregation
+	// along dimension d yields this node. Dimensions at their finest
+	// level have a nil entry.
+	ChildEdges [][]int
+	// ParentIDs lists, per dimension, the node obtained by rolling this
+	// node up one level along that dimension (-1 when already at ALL).
+	ParentIDs []int
+	// IsBase marks nodes whose coordinate is at the finest level in every
+	// dimension.
+	IsBase bool
+	// Depth is the total aggregation depth (sum of per-dimension levels);
+	// base nodes have the minimum depth 0... it is used for level-wise
+	// processing and as a tie breaker in distance ordering.
+	Depth int
+}
+
+// Key returns the canonical coordinate key of the node.
+func (n *Node) Key(dims []Dimension) string { return n.Coord.Key(dims) }
+
+// BaseSeries identifies one base time series by its finest-level member
+// values (one per dimension, in dimension order).
+type BaseSeries struct {
+	Members []string
+	Series  *timeseries.Series
+}
+
+// Graph is the directed time-series hyper graph of Section II-A: it is
+// complete (contains all aggregation possibilities of the instance),
+// a series can contribute to several aggregates, and functional
+// dependencies are encoded through the dimension hierarchies.
+type Graph struct {
+	Dims  []Dimension
+	Nodes []*Node
+	// TopID is the node aggregating over all dimensions; BaseIDs are the
+	// finest-level nodes in enumeration order.
+	TopID   int
+	BaseIDs []int
+	Period  int
+	Length  int // number of observations in every node series
+
+	index map[string]int // coordinate key -> node ID
+
+	// coverCache memoizes the ancestor closure of base nodes, the hot
+	// path of Advance (one lookup per base series per insert batch).
+	coverCache map[int][]int
+}
+
+// NumNodes returns the total number of nodes in the graph.
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// Lookup resolves a coordinate to its node, or nil if absent.
+func (g *Graph) Lookup(coord Coord) *Node {
+	id, ok := g.index[coord.Key(g.Dims)]
+	if !ok {
+		return nil
+	}
+	return g.Nodes[id]
+}
+
+// LookupKey resolves a canonical key to its node, or nil if absent.
+func (g *Graph) LookupKey(key string) *Node {
+	id, ok := g.index[key]
+	if !ok {
+		return nil
+	}
+	return g.Nodes[id]
+}
+
+// Top returns the all-ALL node.
+func (g *Graph) Top() *Node { return g.Nodes[g.TopID] }
+
+// NewGraph builds the complete hyper graph for the given dimensions and
+// base series. All base series must have equal length and the same period.
+// Aggregated series are computed with SUM (Section II-A).
+func NewGraph(dims []Dimension, base []BaseSeries) (*Graph, error) {
+	if len(base) == 0 {
+		return nil, fmt.Errorf("cube: graph requires at least one base series")
+	}
+	length := base[0].Series.Len()
+	period := base[0].Series.Period
+	for i, b := range base {
+		if len(b.Members) != len(dims) {
+			return nil, fmt.Errorf("cube: base series %d has %d members, want %d", i, len(b.Members), len(dims))
+		}
+		if b.Series.Len() != length {
+			return nil, fmt.Errorf("cube: base series %d has length %d, want %d", i, b.Series.Len(), length)
+		}
+	}
+
+	g := &Graph{Dims: dims, Period: period, Length: length, index: make(map[string]int)}
+
+	// ancestorCoords enumerates every coordinate covering a base entry:
+	// the Cartesian product over dimensions of all ancestor cells.
+	perDim := make([][]Cell, len(dims))
+	getNode := func(coord Coord) (*Node, error) {
+		key := coord.Key(dims)
+		if id, ok := g.index[key]; ok {
+			return g.Nodes[id], nil
+		}
+		depth := 0
+		isBase := true
+		for _, c := range coord {
+			depth += c.Level
+			if c.Level != 0 {
+				isBase = false
+			}
+		}
+		n := &Node{
+			ID:         len(g.Nodes),
+			Coord:      append(Coord(nil), coord...),
+			Series:     timeseries.New(make([]float64, length), period),
+			ChildEdges: make([][]int, len(dims)),
+			ParentIDs:  make([]int, len(dims)),
+			IsBase:     isBase,
+			Depth:      depth,
+		}
+		for i := range n.ParentIDs {
+			n.ParentIDs[i] = -1
+		}
+		g.Nodes = append(g.Nodes, n)
+		g.index[key] = n.ID
+		return n, nil
+	}
+
+	coord := make(Coord, len(dims))
+	var enumerate func(d int, visit func(Coord) error) error
+	enumerate = func(d int, visit func(Coord) error) error {
+		if d == len(dims) {
+			return visit(coord)
+		}
+		for _, cell := range perDim[d] {
+			coord[d] = cell
+			if err := enumerate(d+1, visit); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for _, b := range base {
+		// Compute the ancestor chain per dimension for this base entry.
+		for d := range dims {
+			dim := &dims[d]
+			cells := make([]Cell, 0, dim.AllLevel()+1)
+			for lvl := 0; lvl <= dim.AllLevel(); lvl++ {
+				v, err := dim.Ancestor(b.Members[d], 0, lvl)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, Cell{Level: lvl, Value: v})
+			}
+			perDim[d] = cells
+		}
+		bs := b.Series
+		err := enumerate(0, func(c Coord) error {
+			n, err := getNode(c)
+			if err != nil {
+				return err
+			}
+			for t, v := range bs.Values {
+				n.Series.Values[t] += v
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Wire parent/child hyper edges: roll each node up one level per
+	// dimension and register it under that parent.
+	for _, n := range g.Nodes {
+		if n.IsBase {
+			g.BaseIDs = append(g.BaseIDs, n.ID)
+		}
+		for d := range dims {
+			dim := &dims[d]
+			cell := n.Coord[d]
+			if cell.IsAll(dim) {
+				continue
+			}
+			pv, err := dim.Ancestor(cell.Value, cell.Level, cell.Level+1)
+			if err != nil {
+				return nil, err
+			}
+			pc := append(Coord(nil), n.Coord...)
+			pc[d] = Cell{Level: cell.Level + 1, Value: pv}
+			pid, ok := g.index[pc.Key(dims)]
+			if !ok {
+				return nil, fmt.Errorf("cube: internal error: missing parent node %s", pc.Key(dims))
+			}
+			n.ParentIDs[d] = pid
+			parent := g.Nodes[pid]
+			parent.ChildEdges[d] = append(parent.ChildEdges[d], n.ID)
+		}
+	}
+
+	// Keep edges and base IDs in deterministic order.
+	sort.Ints(g.BaseIDs)
+	for _, n := range g.Nodes {
+		for d := range n.ChildEdges {
+			sort.Ints(n.ChildEdges[d])
+		}
+	}
+
+	top := make(Coord, len(dims))
+	for d := range dims {
+		top[d] = Cell{Level: dims[d].AllLevel()}
+	}
+	tid, ok := g.index[top.Key(dims)]
+	if !ok {
+		return nil, fmt.Errorf("cube: internal error: missing top node")
+	}
+	g.TopID = tid
+	return g, nil
+}
+
+// Children returns one hyper edge of the node: the child IDs along the
+// first aggregated dimension (the canonical decomposition). Base nodes
+// return nil.
+func (g *Graph) Children(n *Node) []int {
+	for d := range g.Dims {
+		if len(n.ChildEdges[d]) > 0 {
+			return n.ChildEdges[d]
+		}
+	}
+	return nil
+}
+
+// Covers reports whether node t covers (is an ancestor-or-equal of) node s,
+// i.e. whether the series of s contributes to the aggregate of t.
+func (g *Graph) Covers(t, s *Node) bool {
+	for d := range g.Dims {
+		dim := &g.Dims[d]
+		tc, sc := t.Coord[d], s.Coord[d]
+		if tc.Level < sc.Level {
+			return false
+		}
+		if tc.IsAll(dim) {
+			continue
+		}
+		av, err := dim.Ancestor(sc.Value, sc.Level, tc.Level)
+		if err != nil || av != tc.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Neighbors returns the undirected adjacency of a node: all one-step
+// roll-ups (parents) and one-step drill-downs (children across every
+// aggregated dimension).
+func (g *Graph) Neighbors(id int) []int {
+	n := g.Nodes[id]
+	var out []int
+	for _, p := range n.ParentIDs {
+		if p >= 0 {
+			out = append(out, p)
+		}
+	}
+	for _, edge := range n.ChildEdges {
+		out = append(out, edge...)
+	}
+	return out
+}
+
+// ClosestNodes returns up to k node IDs ordered by breadth-first distance
+// from the given node (excluding the node itself). It implements the
+// indicator-size restriction strategy of Section IV-C.1: "the local
+// indicator of a node s is then constructed by including those nodes which
+// are closest to s in the time series graph".
+func (g *Graph) ClosestNodes(id, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	visited := make(map[int]bool, k*2)
+	visited[id] = true
+	queue := []int{id}
+	var out []int
+	for len(queue) > 0 && len(out) < k {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.Neighbors(cur) {
+			if visited[nb] {
+				continue
+			}
+			visited[nb] = true
+			out = append(out, nb)
+			if len(out) >= k {
+				break
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return out
+}
+
+// SummingVector returns, for node t, the base-node incidence: the sorted
+// IDs of all base nodes covered by t. The collection over all nodes forms
+// the summing matrix S used by the Combine baseline.
+func (g *Graph) SummingVector(t *Node) []int {
+	var out []int
+	for _, bid := range g.BaseIDs {
+		if g.Covers(t, g.Nodes[bid]) {
+			out = append(out, bid)
+		}
+	}
+	return out
+}
+
+// Advance appends one new observation to every base series (values keyed by
+// base node ID) and propagates the SUM aggregation to every covering node.
+// It returns an error unless exactly all base nodes are present, mirroring
+// the batched-insert maintenance of Section V ("we currently batch inserts
+// until a new value is available for each base time series").
+func (g *Graph) Advance(values map[int]float64) error {
+	if len(values) != len(g.BaseIDs) {
+		return fmt.Errorf("cube: Advance needs a value for all %d base series, got %d", len(g.BaseIDs), len(values))
+	}
+	// Zero-extend every node, then add base contributions to all covering
+	// nodes by walking ancestor closures.
+	for _, n := range g.Nodes {
+		n.Series.Append(0)
+	}
+	t := g.Length
+	for bid, v := range values {
+		if bid < 0 || bid >= len(g.Nodes) || !g.Nodes[bid].IsBase {
+			return fmt.Errorf("cube: Advance: %d is not a base node", bid)
+		}
+		for _, id := range g.coverClosure(bid) {
+			g.Nodes[id].Series.Values[t] += v
+		}
+	}
+	g.Length++
+	return nil
+}
+
+// coverClosure returns the IDs of all nodes covering the given base node
+// (including itself), via BFS over parent links. Results are memoized —
+// the graph structure is immutable after construction.
+func (g *Graph) coverClosure(baseID int) []int {
+	if c, ok := g.coverCache[baseID]; ok {
+		return c
+	}
+	seen := map[int]bool{baseID: true}
+	queue := []int{baseID}
+	out := []int{baseID}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, p := range g.Nodes[cur].ParentIDs {
+			if p < 0 || seen[p] {
+				continue
+			}
+			seen[p] = true
+			out = append(out, p)
+			queue = append(queue, p)
+		}
+	}
+	if g.coverCache == nil {
+		g.coverCache = make(map[int][]int, len(g.BaseIDs))
+	}
+	g.coverCache[baseID] = out
+	return out
+}
+
+// BaseIncidence returns, for every node ID, the sorted base-node IDs it
+// covers (the rows of the summing matrix S). Unlike calling SummingVector
+// per node — which scans all base nodes each time — this walks each base
+// node's ancestor closure once, so the total work is linear in the number
+// of (base, ancestor) pairs.
+func (g *Graph) BaseIncidence() [][]int {
+	out := make([][]int, len(g.Nodes))
+	for _, bid := range g.BaseIDs {
+		for _, id := range g.coverClosure(bid) {
+			out[id] = append(out[id], bid)
+		}
+	}
+	for _, l := range out {
+		sort.Ints(l)
+	}
+	return out
+}

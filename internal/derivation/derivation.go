@@ -1,0 +1,268 @@
+// Package derivation implements the generalized forecast-derivation schemes
+// of Section II-C of the paper: the forecast of a target node t is derived
+// from any set of source nodes S as
+//
+//	x̂_t = k_{S→t} · Σ_{s∈S} x̂_s,   k_{S→t} = h_t / Σ_{s∈S} h_s   (eq. 1–3)
+//
+// where h_v is the sum over the whole history of node v. Direct (S = {t},
+// k = 1), aggregation (S = children, k = 1 on complete data) and
+// disaggregation (S = {parent}, k = historical share) are special cases.
+package derivation
+
+import (
+	"fmt"
+	"math"
+
+	"cubefc/internal/cube"
+	"cubefc/internal/timeseries"
+)
+
+// Kind labels the classical scheme shapes for reporting; the math is the
+// same generalized weight in every case.
+type Kind int
+
+const (
+	// Direct uses the model at the target node itself.
+	Direct Kind = iota
+	// Aggregation sums child-node forecasts.
+	Aggregation
+	// Disaggregation scales down an ancestor-node forecast.
+	Disaggregation
+	// General is any other source set (e.g. siblings, multi-source).
+	General
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Direct:
+		return "direct"
+	case Aggregation:
+		return "aggregation"
+	case Disaggregation:
+		return "disaggregation"
+	default:
+		return "general"
+	}
+}
+
+// Scheme derives the forecast of Target from the models at Sources with
+// derivation weight K.
+type Scheme struct {
+	Target  int
+	Sources []int
+	K       float64
+	Kind    Kind
+}
+
+// NewScheme builds a scheme for target derived from sources over the first
+// historyLen observations of the node series (pass the training length to
+// avoid leaking evaluation data into the weight). It classifies the scheme
+// kind from the graph structure.
+func NewScheme(g *cube.Graph, target int, sources []int, historyLen int) (Scheme, error) {
+	k, err := Weight(g, target, sources, historyLen)
+	if err != nil {
+		return Scheme{}, err
+	}
+	return Scheme{Target: target, Sources: append([]int(nil), sources...), K: k, Kind: Classify(g, target, sources)}, nil
+}
+
+// Classify determines the classical kind of a source set for a target.
+func Classify(g *cube.Graph, target int, sources []int) Kind {
+	if len(sources) == 1 {
+		s := sources[0]
+		if s == target {
+			return Direct
+		}
+		if g.Covers(g.Nodes[s], g.Nodes[target]) {
+			return Disaggregation
+		}
+	}
+	// Aggregation: sources exactly one child hyper edge of target.
+	tn := g.Nodes[target]
+	for _, edge := range tn.ChildEdges {
+		if sameIDSet(edge, sources) {
+			return Aggregation
+		}
+	}
+	return General
+}
+
+func sameIDSet(a, b []int) bool {
+	if len(a) != len(b) || len(a) == 0 {
+		return false
+	}
+	seen := make(map[int]int, len(a))
+	for _, x := range a {
+		seen[x]++
+	}
+	for _, x := range b {
+		seen[x]--
+		if seen[x] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Weight computes k_{S→t} = h_t / Σ h_s over the first historyLen
+// observations (eq. 2 and 3). A historyLen <= 0 or beyond the series length
+// uses the whole history.
+func Weight(g *cube.Graph, target int, sources []int, historyLen int) (float64, error) {
+	if len(sources) == 0 {
+		return 0, fmt.Errorf("derivation: empty source set for target %d", target)
+	}
+	ht := historySum(g, target, historyLen)
+	var hs float64
+	for _, s := range sources {
+		hs += historySum(g, s, historyLen)
+	}
+	if hs == 0 {
+		return 0, fmt.Errorf("derivation: zero source history sum for target %d", target)
+	}
+	return ht / hs, nil
+}
+
+func historySum(g *cube.Graph, id, historyLen int) float64 {
+	s := g.Nodes[id].Series
+	n := s.Len()
+	if historyLen > 0 && historyLen < n {
+		n = historyLen
+	}
+	var acc float64
+	for _, v := range s.Values[:n] {
+		acc += v
+	}
+	return acc
+}
+
+// Apply combines source forecasts into the target forecast: element-wise
+// sum scaled by K. All forecasts must have equal length.
+func (sc *Scheme) Apply(sourceForecasts [][]float64) ([]float64, error) {
+	if len(sourceForecasts) != len(sc.Sources) {
+		return nil, fmt.Errorf("derivation: got %d forecasts for %d sources", len(sourceForecasts), len(sc.Sources))
+	}
+	if len(sourceForecasts) == 0 {
+		return nil, fmt.Errorf("derivation: no source forecasts")
+	}
+	h := len(sourceForecasts[0])
+	out := make([]float64, h)
+	for i, fc := range sourceForecasts {
+		if len(fc) != h {
+			return nil, fmt.Errorf("derivation: forecast %d has length %d, want %d", i, len(fc), h)
+		}
+		for j, v := range fc {
+			out[j] += v
+		}
+	}
+	for j := range out {
+		out[j] *= sc.K
+	}
+	return out, nil
+}
+
+// HistoricalError evaluates the derivation accuracy of the scheme sources→
+// target on history alone, assuming a perfect model at the sources: the
+// real source history (scaled by the weight) is used as the forecast of the
+// target and compared against the target's real history with SMAPE. This is
+// the "historical error" indicator of Section III-B. The error is computed
+// over the first historyLen observations (<= 0 means all).
+func HistoricalError(g *cube.Graph, target int, sources []int, historyLen int) (float64, error) {
+	k, err := Weight(g, target, sources, historyLen)
+	if err != nil {
+		return math.NaN(), err
+	}
+	n := g.Nodes[target].Series.Len()
+	if historyLen > 0 && historyLen < n {
+		n = historyLen
+	}
+	derived := make([]float64, n)
+	for _, s := range sources {
+		for i, v := range g.Nodes[s].Series.Values[:n] {
+			derived[i] += v
+		}
+	}
+	for i := range derived {
+		derived[i] *= k
+	}
+	return timeseries.SMAPE(g.Nodes[target].Series.Values[:n], derived), nil
+}
+
+// WeightStability measures the similarity indicator of Section III-B: the
+// fluctuation of the per-step derivation weight w_i = x_t[i] / Σ x_s[i]
+// over the history, reported as the coefficient of variation (std/|mean|).
+// Constant weights (perfectly similar series) yield 0; strongly fluctuating
+// weights yield large values. Steps with a (near-)zero source sum are
+// skipped; if fewer than two usable steps remain the stability is +Inf.
+func WeightStability(g *cube.Graph, target int, sources []int, historyLen int) float64 {
+	n := g.Nodes[target].Series.Len()
+	if historyLen > 0 && historyLen < n {
+		n = historyLen
+	}
+	ratios := make([]float64, 0, n)
+	tv := g.Nodes[target].Series.Values
+	for i := 0; i < n; i++ {
+		var den float64
+		for _, s := range sources {
+			den += g.Nodes[s].Series.Values[i]
+		}
+		if math.Abs(den) < 1e-12 {
+			continue
+		}
+		ratios = append(ratios, tv[i]/den)
+	}
+	if len(ratios) < 2 {
+		return math.Inf(1)
+	}
+	var mean float64
+	for _, r := range ratios {
+		mean += r
+	}
+	mean /= float64(len(ratios))
+	var variance float64
+	for _, r := range ratios {
+		d := r - mean
+		variance += d * d
+	}
+	variance /= float64(len(ratios))
+	if mean == 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(variance) / math.Abs(mean)
+}
+
+// DirectScheme returns the trivial scheme of a node deriving from its own
+// model (weight 1, Figure 3a).
+func DirectScheme(target int) Scheme {
+	return Scheme{Target: target, Sources: []int{target}, K: 1, Kind: Direct}
+}
+
+// AggregationScheme returns the scheme deriving target from one of its
+// child hyper edges (Figure 3b). The first non-empty edge is used.
+func AggregationScheme(g *cube.Graph, target, historyLen int) (Scheme, bool) {
+	children := g.Children(g.Nodes[target])
+	if len(children) == 0 {
+		return Scheme{}, false
+	}
+	sc, err := NewScheme(g, target, children, historyLen)
+	if err != nil {
+		return Scheme{}, false
+	}
+	sc.Kind = Aggregation
+	return sc, true
+}
+
+// DisaggregationScheme returns the scheme deriving target from its parent
+// along the given dimension (Figure 3c).
+func DisaggregationScheme(g *cube.Graph, target, dim, historyLen int) (Scheme, bool) {
+	p := g.Nodes[target].ParentIDs[dim]
+	if p < 0 {
+		return Scheme{}, false
+	}
+	sc, err := NewScheme(g, target, []int{p}, historyLen)
+	if err != nil {
+		return Scheme{}, false
+	}
+	sc.Kind = Disaggregation
+	return sc, true
+}

@@ -1,0 +1,70 @@
+package f2db
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueriesAndInserts hammers the engine from multiple
+// goroutines; run with -race to verify the locking discipline.
+func TestConcurrentQueriesAndInserts(t *testing.T) {
+	db, g, _ := testEngine(t, TimeBased{Every: 2})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+
+	// Query workers.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				node := (w*53 + i*17) % g.NumNodes()
+				if _, err := db.ForecastNode(node, 2); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// Insert worker: full batches so time advances concurrently.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for step := 0; step < 5; step++ {
+			for _, id := range g.BaseIDs {
+				if err := db.InsertBase(id, 42); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.Queries != 200 || s.Batches != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestConcurrentSQLQueries exercises the parser path concurrently.
+func TestConcurrentSQLQueries(t *testing.T) {
+	db, _, _ := testEngine(t, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := db.Query("SELECT time, SUM(m) FROM facts WHERE region = 'R1' GROUP BY time AS OF now() + '1 step'"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

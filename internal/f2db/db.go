@@ -1,0 +1,396 @@
+// Package f2db is an embedded reimplementation of the paper's F²DB
+// (flash-forward database) prototype, Section V: it stores a model
+// configuration in relational-style system tables, processes forecast
+// queries against it ("SELECT … AS OF now() + '1 day'") without touching
+// base data, and maintains the models incrementally as new time-series
+// values are inserted. Where the original extends PostgreSQL, this engine
+// is self-contained and stdlib-only; the component structure of Figure 6
+// (configuration storage, forecast query processor, maintenance processor)
+// is preserved.
+package f2db
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"cubefc/internal/core"
+	"cubefc/internal/cube"
+	"cubefc/internal/derivation"
+	"cubefc/internal/forecast"
+	"cubefc/internal/optimize"
+)
+
+// InvalidationStrategy decides when a model's parameters must be
+// re-estimated during maintenance (Section V: "based on a time- or
+// threshold-based strategy").
+type InvalidationStrategy interface {
+	// Invalidate reports whether the model at the node needs parameter
+	// re-estimation given its maintenance statistics.
+	Invalidate(stats ModelStats) bool
+}
+
+// ModelStats carries per-model maintenance statistics for invalidation
+// decisions.
+type ModelStats struct {
+	// UpdatesSinceFit counts state updates since the last (re-)fit.
+	UpdatesSinceFit int
+	// RollingError is an exponentially smoothed one-step-ahead SMAPE of
+	// the model observed during maintenance.
+	RollingError float64
+}
+
+// TimeBased invalidates a model after every N state updates.
+type TimeBased struct{ Every int }
+
+// Invalidate implements InvalidationStrategy.
+func (t TimeBased) Invalidate(s ModelStats) bool {
+	return t.Every > 0 && s.UpdatesSinceFit >= t.Every
+}
+
+// ThresholdBased invalidates a model once its rolling one-step error
+// exceeds MaxError.
+type ThresholdBased struct{ MaxError float64 }
+
+// Invalidate implements InvalidationStrategy.
+func (t ThresholdBased) Invalidate(s ModelStats) bool {
+	return t.MaxError > 0 && s.RollingError > t.MaxError
+}
+
+// Never keeps models valid forever (state updates only).
+type Never struct{}
+
+// Invalidate implements InvalidationStrategy.
+func (Never) Invalidate(ModelStats) bool { return false }
+
+// Stats aggregates engine counters.
+type Stats struct {
+	Queries        int
+	Inserts        int
+	Batches        int // completed maintenance batches (time advances)
+	Reestimations  int
+	QueryTime      time.Duration
+	MaintainTime   time.Duration
+	PendingInserts int
+}
+
+// schemeState tracks the running history sums behind a derivation weight so
+// the weight can be maintained incrementally (Section V).
+type schemeState struct {
+	hTarget  float64
+	hSources float64
+}
+
+// DB is the embedded F²DB engine.
+type DB struct {
+	mu sync.Mutex
+
+	graph *cube.Graph
+	cfg   *core.Configuration
+
+	// StepDuration is the real-time span of one series step, used to
+	// translate "AS OF now() + '1 day'" into a forecast horizon.
+	stepDuration time.Duration
+
+	strategy InvalidationStrategy
+	invalid  map[int]bool
+	mstats   map[int]*ModelStats
+	schemes  map[int]*schemeState
+
+	// pending batches inserts until every base series has a value for
+	// the next time stamp.
+	pending map[int]float64
+
+	// baseCounts caches the number of base series per node (AVG queries).
+	baseCounts map[int]int
+
+	stats Stats
+}
+
+// Options configures Open.
+type Options struct {
+	// StepDuration translates query horizons; default 24h (daily data).
+	StepDuration time.Duration
+	// Strategy is the model invalidation strategy; default Never.
+	Strategy InvalidationStrategy
+}
+
+// Open creates an engine over the graph and loads the model configuration
+// produced by the advisor (or one of the baselines).
+func Open(g *cube.Graph, cfg *core.Configuration, opts Options) (*DB, error) {
+	if cfg.Graph != g {
+		return nil, fmt.Errorf("f2db: configuration belongs to a different graph")
+	}
+	if opts.StepDuration <= 0 {
+		opts.StepDuration = 24 * time.Hour
+	}
+	if opts.Strategy == nil {
+		opts.Strategy = Never{}
+	}
+	db := &DB{
+		graph:        g,
+		cfg:          cfg,
+		stepDuration: opts.StepDuration,
+		strategy:     opts.Strategy,
+		invalid:      make(map[int]bool),
+		mstats:       make(map[int]*ModelStats),
+		schemes:      make(map[int]*schemeState),
+		pending:      make(map[int]float64),
+	}
+	for id := range cfg.Models {
+		db.mstats[id] = &ModelStats{}
+	}
+	// Initialize incremental weight states from the full history.
+	for id, sc := range cfg.Schemes {
+		st := &schemeState{}
+		st.hTarget = g.Nodes[id].Series.Sum()
+		for _, s := range sc.Sources {
+			st.hSources += g.Nodes[s].Series.Sum()
+		}
+		db.schemes[id] = st
+	}
+	return db, nil
+}
+
+// Graph exposes the underlying time-series hyper graph.
+func (db *DB) Graph() *cube.Graph { return db.graph }
+
+// Configuration exposes the loaded model configuration.
+func (db *DB) Configuration() *core.Configuration { return db.cfg }
+
+// Stats returns a snapshot of the engine counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := db.stats
+	s.PendingInserts = len(db.pending)
+	return s
+}
+
+// ForecastNode answers a forecast for the node over horizon h steps using
+// the stored scheme and live model states, re-estimating invalid models
+// lazily (Section V: "we reduce maintenance overhead by delaying parameter
+// reestimation until the model is actually referenced by a query").
+func (db *DB) ForecastNode(nodeID, h int) ([]float64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.forecastLocked(nodeID, h)
+}
+
+func (db *DB) forecastLocked(nodeID, h int) ([]float64, error) {
+	start := time.Now()
+	defer func() {
+		db.stats.Queries++
+		db.stats.QueryTime += time.Since(start)
+	}()
+	sc, ok := db.cfg.Schemes[nodeID]
+	if !ok {
+		return nil, fmt.Errorf("f2db: node %d has no derivation scheme", nodeID)
+	}
+	fcs := make([][]float64, len(sc.Sources))
+	for i, s := range sc.Sources {
+		m, ok := db.cfg.Models[s]
+		if !ok {
+			return nil, fmt.Errorf("f2db: scheme source %d has no model", s)
+		}
+		if db.invalid[s] {
+			if err := db.reestimate(s, m); err != nil {
+				return nil, err
+			}
+		}
+		fcs[i] = m.Forecast(h)
+	}
+	// Use the incrementally maintained weight.
+	liveSc := sc
+	if st, ok := db.schemes[nodeID]; ok && st.hSources != 0 && sc.Kind != derivation.Direct {
+		liveSc.K = st.hTarget / st.hSources
+	}
+	return liveSc.Apply(fcs)
+}
+
+// forecastIntervalLocked returns the point forecast of a node and, when
+// conf > 0 (a percentage, e.g. 95), lower/upper prediction-interval bounds.
+// The interval assumes independent, normally distributed residuals at the
+// scheme's sources; each source contributes its one-step residual variance
+// grown by its model's horizon profile (ψ weights for ARIMA, class-1
+// state-space formulas for exponential smoothing):
+//
+//	spread(step) = z · |k| · sqrt( Σ_s σ_s² · scale_s(step)² )
+func (db *DB) forecastIntervalLocked(nodeID, h int, conf float64) (point, lo, hi []float64, err error) {
+	point, err = db.forecastLocked(nodeID, h)
+	if err != nil || conf <= 0 {
+		return point, nil, nil, err
+	}
+	sc, ok := db.cfg.Schemes[nodeID]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("f2db: node %d has no derivation scheme", nodeID)
+	}
+	k := sc.K
+	if st, ok := db.schemes[nodeID]; ok && st.hSources != 0 && sc.Kind != derivation.Direct {
+		k = st.hTarget / st.hSources
+	}
+	z := optimize.InvNormCDF(0.5 + conf/200)
+	lo = make([]float64, h)
+	hi = make([]float64, h)
+	for i := range point {
+		var variance float64
+		for _, s := range sc.Sources {
+			m := db.cfg.Models[s]
+			if u, ok := m.(forecast.Uncertainty); ok {
+				std := u.ResidualStd() * forecast.VarianceScaleOf(m, i+1)
+				variance += std * std
+			}
+		}
+		spread := z * math.Abs(k) * math.Sqrt(variance)
+		lo[i] = point[i] - spread
+		hi[i] = point[i] + spread
+	}
+	return point, lo, hi, nil
+}
+
+// reestimate re-fits a model's parameters on the node's full current
+// history.
+func (db *DB) reestimate(id int, m forecast.Model) error {
+	if err := m.Fit(db.graph.Nodes[id].Series); err != nil {
+		return fmt.Errorf("f2db: re-estimating node %d: %w", id, err)
+	}
+	db.invalid[id] = false
+	st := db.mstats[id]
+	st.UpdatesSinceFit = 0
+	st.RollingError = 0
+	db.stats.Reestimations++
+	return nil
+}
+
+// Insert adds one new measure value for the base series identified by its
+// finest-level member values. Inserts are batched; once every base series
+// has received a value for the next time stamp, time advances in the whole
+// graph and all models and derivation weights are updated incrementally
+// (Section V).
+func (db *DB) Insert(members []string, value float64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	coord := make(cube.Coord, len(db.graph.Dims))
+	for d := range db.graph.Dims {
+		if d >= len(members) {
+			return fmt.Errorf("f2db: insert needs %d member values, got %d", len(db.graph.Dims), len(members))
+		}
+		coord[d] = cube.Cell{Level: 0, Value: members[d]}
+	}
+	n := db.graph.Lookup(coord)
+	if n == nil || !n.IsBase {
+		return fmt.Errorf("f2db: unknown base series %v", members)
+	}
+	return db.insertBaseLocked(n.ID, value)
+}
+
+// InsertBase is Insert addressed by base node ID (fast path for generated
+// workloads).
+func (db *DB) InsertBase(baseID int, value float64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.insertBaseLocked(baseID, value)
+}
+
+func (db *DB) insertBaseLocked(baseID int, value float64) error {
+	start := time.Now()
+	defer func() {
+		db.stats.Inserts++
+		db.stats.MaintainTime += time.Since(start)
+	}()
+	if _, dup := db.pending[baseID]; dup {
+		return fmt.Errorf("f2db: duplicate insert for base node %d in current batch", baseID)
+	}
+	db.pending[baseID] = value
+	if len(db.pending) < len(db.graph.BaseIDs) {
+		return nil
+	}
+	return db.advanceLocked()
+}
+
+// advanceLocked processes a complete batch: appends the new values to every
+// node series, updates model states and derivation weights incrementally,
+// and applies the invalidation strategy.
+func (db *DB) advanceLocked() error {
+	t := db.graph.Length // index of the new observation after Advance
+	if err := db.graph.Advance(db.pending); err != nil {
+		return err
+	}
+	db.pending = make(map[int]float64)
+	db.stats.Batches++
+
+	// Model state updates: compare the one-step forecast against the new
+	// actual to maintain the rolling error, then advance the state.
+	for id, m := range db.cfg.Models {
+		actual := db.graph.Nodes[id].Series.Values[t]
+		st := db.mstats[id]
+		if fc := m.Forecast(1); len(fc) == 1 {
+			den := math.Abs(actual) + math.Abs(fc[0])
+			if den > 0 {
+				e := math.Abs(actual-fc[0]) / den
+				st.RollingError = 0.9*st.RollingError + 0.1*e
+			}
+		}
+		m.Update(actual)
+		st.UpdatesSinceFit++
+		if db.strategy.Invalidate(*st) {
+			db.invalid[id] = true
+		}
+	}
+
+	// Incremental derivation-weight maintenance.
+	for id, sc := range db.cfg.Schemes {
+		st, ok := db.schemes[id]
+		if !ok {
+			continue
+		}
+		st.hTarget += db.graph.Nodes[id].Series.Values[t]
+		for _, s := range sc.Sources {
+			st.hSources += db.graph.Nodes[s].Series.Values[t]
+		}
+	}
+	return nil
+}
+
+// InvalidCount returns how many models currently await re-estimation.
+func (db *DB) InvalidCount() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c := 0
+	for _, v := range db.invalid {
+		if v {
+			c++
+		}
+	}
+	return c
+}
+
+// ModelHealth reports per-model maintenance state for monitoring: state
+// updates since the last (re-)estimation, the rolling one-step SMAPE
+// observed during maintenance and whether the model currently awaits
+// re-estimation. Keyed by the node's canonical coordinate key.
+type ModelHealth struct {
+	Node            int
+	Family          string
+	UpdatesSinceFit int
+	RollingError    float64
+	Invalid         bool
+}
+
+// Health returns a snapshot of every model's maintenance state.
+func (db *DB) Health() map[string]ModelHealth {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make(map[string]ModelHealth, len(db.cfg.Models))
+	for id, m := range db.cfg.Models {
+		st := db.mstats[id]
+		h := ModelHealth{Node: id, Family: m.Name(), Invalid: db.invalid[id]}
+		if st != nil {
+			h.UpdatesSinceFit = st.UpdatesSinceFit
+			h.RollingError = st.RollingError
+		}
+		out[db.graph.Nodes[id].Key(db.graph.Dims)] = h
+	}
+	return out
+}

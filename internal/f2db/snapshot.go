@@ -1,0 +1,93 @@
+package f2db
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"cubefc/internal/cube"
+)
+
+// Engine snapshots: the entire database — dimensions, base series at their
+// current length, the model configuration with live model states, and any
+// half-filled insert batch — serialized into one stream. This is the
+// embedded analogue of F²DB's persistent PostgreSQL storage: an engine can
+// be shut down and reopened without re-running the advisor.
+
+// dbImage is the serialized engine.
+type dbImage struct {
+	Dims         []cube.Dimension
+	Base         []cube.BaseSeries
+	Config       []byte // nested configuration image (SaveConfiguration)
+	Pending      map[string]float64
+	StepDuration time.Duration
+}
+
+// SaveDatabase serializes the whole engine state.
+func SaveDatabase(w io.Writer, db *DB) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+
+	img := dbImage{
+		Dims:         db.graph.Dims,
+		StepDuration: db.stepDuration,
+		Pending:      make(map[string]float64, len(db.pending)),
+	}
+	for _, id := range db.graph.BaseIDs {
+		n := db.graph.Nodes[id]
+		members := make([]string, len(n.Coord))
+		for d, cell := range n.Coord {
+			members[d] = cell.Value
+		}
+		img.Base = append(img.Base, cube.BaseSeries{
+			Members: members,
+			Series:  n.Series.Slice(0, db.graph.Length).Clone(),
+		})
+	}
+	for id, v := range db.pending {
+		img.Pending[db.graph.Nodes[id].Key(db.graph.Dims)] = v
+	}
+	var cfgBuf bytes.Buffer
+	if err := SaveConfiguration(&cfgBuf, db.cfg); err != nil {
+		return err
+	}
+	img.Config = cfgBuf.Bytes()
+	return gob.NewEncoder(w).Encode(&img)
+}
+
+// LoadDatabase restores an engine saved with SaveDatabase. The strategy is
+// not persisted (it may hold arbitrary behavior); pass the desired one in
+// opts — opts.StepDuration, when zero, is taken from the snapshot.
+func LoadDatabase(r io.Reader, opts Options) (*DB, error) {
+	var img dbImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("f2db: decoding database image: %w", err)
+	}
+	g, err := cube.NewGraph(img.Dims, img.Base)
+	if err != nil {
+		return nil, fmt.Errorf("f2db: rebuilding graph: %w", err)
+	}
+	cfg, err := LoadConfiguration(bytes.NewReader(img.Config), g)
+	if err != nil {
+		return nil, err
+	}
+	if opts.StepDuration <= 0 {
+		opts.StepDuration = img.StepDuration
+	}
+	db, err := Open(g, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	for key, v := range img.Pending {
+		n := g.LookupKey(key)
+		if n == nil {
+			return nil, fmt.Errorf("f2db: pending insert for unknown node %q", key)
+		}
+		if err := db.InsertBase(n.ID, v); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

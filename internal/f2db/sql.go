@@ -1,0 +1,657 @@
+package f2db
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+
+	"cubefc/internal/cube"
+)
+
+// This file implements the forecast-query processor of Section V: a small
+// SQL dialect with the paper's AS OF extension,
+//
+//	SELECT time, sales      FROM facts WHERE product = 'P4' AND city = 'C4'
+//	                        AS OF now() + '1 day'
+//	SELECT time, SUM(sales) FROM facts WHERE product = 'P4' AND region = 'R2'
+//	                        GROUP BY time AS OF now() + '1 day'
+//
+// A query is rewritten to the referenced node of the time-series graph;
+// the executor loads the necessary models and derives the forecast without
+// accessing base data. Queries without AS OF return the stored history of
+// the node.
+
+// QueryRow is one output row: the time index of the observation or
+// forecast step and its (possibly aggregated) measure value. Lo/Hi carry
+// the prediction interval when the query requested one (WITH INTERVAL n).
+type QueryRow struct {
+	T      int
+	Value  float64
+	Lo, Hi float64
+}
+
+// Group is the result for one hyper-graph node of a (possibly multi-node)
+// query. A query with GROUP BY over a hierarchy level describes several
+// nodes (Section II-A: "a query describes one or several nodes"), one per
+// member value at that level.
+type Group struct {
+	// Node is the hyper-graph node this group was rewritten to.
+	Node int
+	// NodeKey is its canonical coordinate key.
+	NodeKey string
+	// Member is the grouping member value ("" for single-node queries).
+	Member string
+	// Rows holds the history or forecast values.
+	Rows []QueryRow
+}
+
+// Result is the output of a query.
+type Result struct {
+	// Node, NodeKey and Rows describe the first (often only) group, kept
+	// as convenience accessors.
+	Node    int
+	NodeKey string
+	Rows    []QueryRow
+	// Groups holds all result groups of the query in member order.
+	Groups []Group
+	// Forecast marks AS OF queries.
+	Forecast bool
+	// Plan describes the derivation used (EXPLAIN output).
+	Plan string
+}
+
+// Exec executes a statement that is not a query. Supported:
+//
+//	INSERT INTO facts VALUES ('<member1>', ..., <measure>)
+//
+// with one member value per dimension in schema order. Inserts are batched
+// by the maintenance processor (Section V).
+func (db *DB) Exec(sql string) error {
+	toks, err := lex(sql)
+	if err != nil {
+		return err
+	}
+	p := &parser{toks: toks}
+	if err := p.expectKw("insert"); err != nil {
+		return err
+	}
+	if err := p.expectKw("into"); err != nil {
+		return err
+	}
+	if t := p.next(); t.kind != tokIdent {
+		return fmt.Errorf("f2db: expected table name, got %q", t.text)
+	}
+	if err := p.expectKw("values"); err != nil {
+		return err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	var members []string
+	var value float64
+	var haveValue bool
+	for {
+		t := p.next()
+		switch t.kind {
+		case tokString:
+			if haveValue {
+				return fmt.Errorf("f2db: member value %q after measure", t.text)
+			}
+			members = append(members, t.text)
+		case tokIdent:
+			v, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return fmt.Errorf("f2db: expected numeric measure, got %q", t.text)
+			}
+			value = v
+			haveValue = true
+		default:
+			return fmt.Errorf("f2db: unexpected token %q in VALUES", t.text)
+		}
+		if p.peek().kind == tokPunct && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return err
+	}
+	if p.peek().kind != tokEOF {
+		return fmt.Errorf("f2db: trailing input %q", p.peek().text)
+	}
+	if !haveValue {
+		return fmt.Errorf("f2db: INSERT misses the measure value")
+	}
+	return db.Insert(members, value)
+}
+
+// Query parses and executes a (forecast) query. Queries constrained to one
+// coordinate return a single group; a GROUP BY over a hierarchy level
+// returns one group per member value at that level (drill-down).
+func (db *DB) Query(sql string) (*Result, error) {
+	stmt, err := parseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+
+	var nodes []*cube.Node
+	var members []string
+	if stmt.groupLevel != "" {
+		nodes, members, err = db.resolveGroupNodes(stmt)
+	} else {
+		var n *cube.Node
+		n, err = db.resolveNode(stmt)
+		nodes, members = []*cube.Node{n}, []string{""}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Node: nodes[0].ID, NodeKey: nodes[0].Key(db.graph.Dims)}
+	if stmt.explain || stmt.horizon == "" {
+		res.Plan = db.explainNode(nodes[0].ID)
+	}
+	if stmt.explain {
+		return res, nil
+	}
+	res.Forecast = stmt.horizon != ""
+
+	h := 0
+	if res.Forecast {
+		h, err = db.parseHorizon(stmt.horizon)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, n := range nodes {
+		rows, err := db.buildRows(n, stmt, h)
+		if err != nil {
+			return nil, err
+		}
+		res.Groups = append(res.Groups, Group{
+			Node:    n.ID,
+			NodeKey: n.Key(db.graph.Dims),
+			Member:  members[i],
+			Rows:    rows,
+		})
+	}
+	res.Rows = res.Groups[0].Rows
+	return res, nil
+}
+
+// explainNode renders the derivation plan of a node.
+func (db *DB) explainNode(id int) string {
+	sc, ok := db.cfg.Schemes[id]
+	if !ok {
+		return "no scheme assigned"
+	}
+	keys := make([]string, len(sc.Sources))
+	for i, s := range sc.Sources {
+		keys[i] = db.graph.Nodes[s].Key(db.graph.Dims)
+	}
+	return fmt.Sprintf("%s from [%s] weight %.6f", sc.Kind, strings.Join(keys, ", "), sc.K)
+}
+
+// buildRows produces the output rows for one node: the stored history for
+// historical queries, or the derived forecast (optionally with prediction
+// intervals) for AS OF queries. The AVG aggregate divides the SUM values
+// by the number of base series covered by the node.
+func (db *DB) buildRows(n *cube.Node, stmt *selectStmt, h int) ([]QueryRow, error) {
+	scale := 1.0
+	if stmt.agg == "avg" {
+		scale = 1 / float64(db.baseCount(n))
+	}
+	if stmt.horizon == "" {
+		vals := n.Series.Values[:db.graph.Length]
+		rows := make([]QueryRow, len(vals))
+		for i, v := range vals {
+			rows[i] = QueryRow{T: i, Value: v * scale}
+		}
+		return rows, nil
+	}
+	point, lo, hi, err := db.forecastIntervalLocked(n.ID, h, stmt.interval)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]QueryRow, len(point))
+	for i, v := range point {
+		rows[i] = QueryRow{T: db.graph.Length + i, Value: v * scale}
+		if lo != nil {
+			rows[i].Lo = lo[i] * scale
+			rows[i].Hi = hi[i] * scale
+		}
+	}
+	return rows, nil
+}
+
+// baseCount returns (and caches) the number of base series covered by a
+// node.
+func (db *DB) baseCount(n *cube.Node) int {
+	if db.baseCounts == nil {
+		db.baseCounts = make(map[int]int)
+	}
+	if c, ok := db.baseCounts[n.ID]; ok {
+		return c
+	}
+	c := len(db.graph.SummingVector(n))
+	if c == 0 {
+		c = 1
+	}
+	db.baseCounts[n.ID] = c
+	return c
+}
+
+// resolveGroupNodes resolves a GROUP BY <level> query: the named level must
+// belong to a dimension not constrained in the WHERE clause; one node per
+// member value at that level is returned, member-ordered.
+func (db *DB) resolveGroupNodes(stmt *selectStmt) ([]*cube.Node, []string, error) {
+	dims := db.graph.Dims
+	groupDim, groupLvl := -1, -1
+	for d := range dims {
+		if lvl := dims[d].LevelIndex(stmt.groupLevel); lvl >= 0 && lvl < dims[d].AllLevel() {
+			groupDim, groupLvl = d, lvl
+			break
+		}
+	}
+	if groupDim < 0 {
+		return nil, nil, fmt.Errorf("f2db: unknown GROUP BY attribute %q", stmt.groupLevel)
+	}
+	coord := make(cube.Coord, len(dims))
+	bound := make([]bool, len(dims))
+	for d := range dims {
+		coord[d] = cube.Cell{Level: dims[d].AllLevel()}
+	}
+	for _, p := range stmt.preds {
+		found := false
+		for d := range dims {
+			lvl := dims[d].LevelIndex(p.attr)
+			if lvl < 0 || lvl >= dims[d].AllLevel() {
+				continue
+			}
+			if d == groupDim {
+				return nil, nil, fmt.Errorf("f2db: dimension %q is both grouped and constrained", dims[d].Name)
+			}
+			if bound[d] {
+				return nil, nil, fmt.Errorf("f2db: dimension %q constrained twice (attribute %q)", dims[d].Name, p.attr)
+			}
+			coord[d] = cube.Cell{Level: lvl, Value: p.value}
+			bound[d] = true
+			found = true
+			break
+		}
+		if !found {
+			return nil, nil, fmt.Errorf("f2db: unknown attribute %q in WHERE clause", p.attr)
+		}
+	}
+	// Collect the nodes matching the pattern with the grouped dimension
+	// at the requested level.
+	var nodes []*cube.Node
+	var members []string
+	for _, n := range db.graph.Nodes {
+		if n.Coord[groupDim].Level != groupLvl {
+			continue
+		}
+		match := true
+		for d := range dims {
+			if d == groupDim {
+				continue
+			}
+			if n.Coord[d] != coord[d] {
+				match = false
+				break
+			}
+		}
+		if match {
+			nodes = append(nodes, n)
+			members = append(members, n.Coord[groupDim].Value)
+		}
+	}
+	if len(nodes) == 0 {
+		return nil, nil, fmt.Errorf("f2db: no time series match GROUP BY %s", stmt.groupLevel)
+	}
+	sort.Sort(byMember{nodes, members})
+	return nodes, members, nil
+}
+
+// byMember sorts parallel node/member slices by member value.
+type byMember struct {
+	nodes   []*cube.Node
+	members []string
+}
+
+func (b byMember) Len() int { return len(b.nodes) }
+func (b byMember) Swap(i, j int) {
+	b.nodes[i], b.nodes[j] = b.nodes[j], b.nodes[i]
+	b.members[i], b.members[j] = b.members[j], b.members[i]
+}
+func (b byMember) Less(i, j int) bool { return b.members[i] < b.members[j] }
+
+// resolveNode rewrites the WHERE clause into a graph coordinate: every
+// predicate attribute must name a hierarchy level of some dimension;
+// unconstrained dimensions aggregate to ALL.
+func (db *DB) resolveNode(stmt *selectStmt) (*cube.Node, error) {
+	dims := db.graph.Dims
+	coord := make(cube.Coord, len(dims))
+	bound := make([]bool, len(dims))
+	for d := range dims {
+		coord[d] = cube.Cell{Level: dims[d].AllLevel()}
+	}
+	for _, p := range stmt.preds {
+		found := false
+		for d := range dims {
+			lvl := dims[d].LevelIndex(p.attr)
+			if lvl < 0 || lvl >= dims[d].AllLevel() {
+				continue
+			}
+			if bound[d] {
+				return nil, fmt.Errorf("f2db: dimension %q constrained twice (attribute %q)", dims[d].Name, p.attr)
+			}
+			coord[d] = cube.Cell{Level: lvl, Value: p.value}
+			bound[d] = true
+			found = true
+			break
+		}
+		if !found {
+			return nil, fmt.Errorf("f2db: unknown attribute %q in WHERE clause", p.attr)
+		}
+	}
+	n := db.graph.Lookup(coord)
+	if n == nil {
+		return nil, fmt.Errorf("f2db: no time series for %s", coord.Key(dims))
+	}
+	return n, nil
+}
+
+// parseHorizon translates an AS OF interval like "1 day" or "6 steps" into
+// a number of forecast steps using the engine's step duration.
+func (db *DB) parseHorizon(interval string) (int, error) {
+	fields := strings.Fields(strings.TrimSpace(interval))
+	if len(fields) != 2 {
+		return 0, fmt.Errorf("f2db: malformed AS OF interval %q (want '<n> <unit>')", interval)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("f2db: malformed AS OF count %q", fields[0])
+	}
+	unit := strings.TrimSuffix(strings.ToLower(fields[1]), "s")
+	var d time.Duration
+	switch unit {
+	case "step":
+		return n, nil
+	case "hour":
+		d = time.Hour
+	case "day":
+		d = 24 * time.Hour
+	case "week":
+		d = 7 * 24 * time.Hour
+	case "month":
+		d = 30 * 24 * time.Hour
+	case "quarter":
+		d = 91 * 24 * time.Hour
+	case "year":
+		d = 365 * 24 * time.Hour
+	default:
+		return 0, fmt.Errorf("f2db: unknown AS OF unit %q", fields[1])
+	}
+	steps := int(float64(n) * float64(d) / float64(db.stepDuration))
+	if steps < 1 {
+		steps = 1
+	}
+	return steps, nil
+}
+
+// --- parsing ------------------------------------------------------------
+
+type predicate struct {
+	attr  string
+	value string
+}
+
+type selectStmt struct {
+	columns    []string
+	table      string
+	preds      []predicate
+	groupBy    bool    // GROUP BY time present
+	groupLevel string  // GROUP BY <hierarchy level> (drill-down), "" if none
+	agg        string  // "sum" (default), "avg"
+	horizon    string  // AS OF interval text, "" for historical queries
+	interval   float64 // WITH INTERVAL <percent> confidence, 0 = off
+	explain    bool
+}
+
+type token struct {
+	kind tokenKind
+	text string
+}
+
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota
+	tokString
+	tokPunct
+	tokEOF
+)
+
+func lex(s string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(s) {
+		c := rune(s[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(s) && s[j] != '\'' {
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("f2db: unterminated string literal at offset %d", i)
+			}
+			out = append(out, token{tokString, s[i+1 : j]})
+			i = j + 1
+		case c == ',' || c == '(' || c == ')' || c == '=' || c == '+' || c == '*':
+			out = append(out, token{tokPunct, string(c)})
+			i++
+		case unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '.':
+			j := i
+			for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j])) || s[j] == '_' || s[j] == '.') {
+				j++
+			}
+			out = append(out, token{tokIdent, s[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("f2db: unexpected character %q at offset %d", c, i)
+		}
+	}
+	out = append(out, token{tokEOF, ""})
+	return out, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) isKw(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+func (p *parser) expectKw(kw string) error {
+	if !p.isKw(kw) {
+		return fmt.Errorf("f2db: expected %s, got %q", strings.ToUpper(kw), p.peek().text)
+	}
+	p.next()
+	return nil
+}
+func (p *parser) expectPunct(ch string) error {
+	t := p.peek()
+	if t.kind != tokPunct || t.text != ch {
+		return fmt.Errorf("f2db: expected %q, got %q", ch, t.text)
+	}
+	p.next()
+	return nil
+}
+
+// parseQuery parses an optional EXPLAIN prefix followed by a SELECT with
+// the AS OF extension.
+func parseQuery(sql string) (*selectStmt, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt := &selectStmt{}
+	if p.isKw("explain") {
+		p.next()
+		stmt.explain = true
+	}
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	// Select list: idents, optional aggregate function call, or *.
+	for {
+		t := p.next()
+		switch {
+		case t.kind == tokPunct && t.text == "*":
+			stmt.columns = append(stmt.columns, "*")
+		case t.kind == tokIdent:
+			col := t.text
+			if p.peek().kind == tokPunct && p.peek().text == "(" {
+				p.next()
+				inner := p.next()
+				if inner.kind != tokIdent {
+					return nil, fmt.Errorf("f2db: expected column inside %s(...)", col)
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				switch strings.ToLower(col) {
+				case "sum":
+					stmt.agg = "sum"
+				case "avg":
+					stmt.agg = "avg"
+				default:
+					return nil, fmt.Errorf("f2db: unsupported aggregate %q (SUM and AVG)", col)
+				}
+				col = strings.ToUpper(col) + "(" + inner.text + ")"
+			}
+			stmt.columns = append(stmt.columns, col)
+		default:
+			return nil, fmt.Errorf("f2db: unexpected token %q in select list", t.text)
+		}
+		if p.peek().kind == tokPunct && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	tbl := p.next()
+	if tbl.kind != tokIdent {
+		return nil, fmt.Errorf("f2db: expected table name, got %q", tbl.text)
+	}
+	stmt.table = tbl.text
+
+	if p.isKw("where") {
+		p.next()
+		for {
+			attr := p.next()
+			if attr.kind != tokIdent {
+				return nil, fmt.Errorf("f2db: expected attribute in WHERE, got %q", attr.text)
+			}
+			if err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			val := p.next()
+			if val.kind != tokString && val.kind != tokIdent {
+				return nil, fmt.Errorf("f2db: expected value for %s, got %q", attr.text, val.text)
+			}
+			stmt.preds = append(stmt.preds, predicate{attr: attr.text, value: val.text})
+			if p.isKw("and") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if p.isKw("group") {
+		p.next()
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col := p.next()
+			if col.kind != tokIdent {
+				return nil, fmt.Errorf("f2db: expected column in GROUP BY, got %q", col.text)
+			}
+			if strings.EqualFold(col.text, "time") {
+				stmt.groupBy = true
+			} else if stmt.groupLevel == "" {
+				stmt.groupLevel = col.text
+			} else {
+				return nil, fmt.Errorf("f2db: at most one non-time GROUP BY attribute is supported, got %q and %q", stmt.groupLevel, col.text)
+			}
+			if p.peek().kind == tokPunct && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if p.isKw("as") {
+		p.next()
+		if err := p.expectKw("of"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("now"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("+"); err != nil {
+			return nil, err
+		}
+		iv := p.next()
+		if iv.kind != tokString {
+			return nil, fmt.Errorf("f2db: expected interval literal after now() +, got %q", iv.text)
+		}
+		stmt.horizon = iv.text
+	}
+	if p.isKw("with") {
+		p.next()
+		if err := p.expectKw("interval"); err != nil {
+			return nil, err
+		}
+		lvl := p.next()
+		if lvl.kind != tokIdent {
+			return nil, fmt.Errorf("f2db: expected confidence level after WITH INTERVAL, got %q", lvl.text)
+		}
+		v, err := strconv.ParseFloat(lvl.text, 64)
+		if err != nil || v <= 0 || v >= 100 {
+			return nil, fmt.Errorf("f2db: WITH INTERVAL wants a percentage in (0, 100), got %q", lvl.text)
+		}
+		stmt.interval = v
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("f2db: trailing input %q", p.peek().text)
+	}
+	return stmt, nil
+}

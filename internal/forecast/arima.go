@@ -1,0 +1,420 @@
+package forecast
+
+import (
+	"math"
+
+	"cubefc/internal/optimize"
+	"cubefc/internal/timeseries"
+)
+
+// Order holds the (p, d, q) orders of one ARIMA polynomial triple. The same
+// struct is used for the seasonal part (P, D, Q) at lag Period.
+type Order struct {
+	P, D, Q int
+}
+
+// ARIMA is a multiplicative seasonal ARIMA(p,d,q)(P,D,Q)m model
+//
+//	φ(B) Φ(B^m) (1-B)^d (1-B^m)^D x_t = c + θ(B) Θ(B^m) e_t
+//
+// estimated by conditional sum of squares (pre-sample residuals set to
+// zero) minimized with Nelder-Mead. The seasonal and non-seasonal lag
+// polynomials are expanded into a single AR and a single MA coefficient
+// vector, so forecasting reduces to a plain ARMA recursion on the
+// differenced series followed by integration of the differences.
+type ARIMA struct {
+	Ord, SOrd Order
+	Period    int
+
+	Phi      []float64 // non-seasonal AR coefficients φ_1..φ_p
+	Theta    []float64 // non-seasonal MA coefficients θ_1..θ_q
+	SPhi     []float64 // seasonal AR coefficients Φ_1..Φ_P
+	STheta   []float64 // seasonal MA coefficients Θ_1..Θ_Q
+	Constant float64   // intercept c of the differenced series
+
+	// History keeps the raw series (needed to invert differencing and to
+	// continue the residual recursion on Update).
+	History   []float64
+	Residuals []float64 // residuals aligned with the differenced series
+	IsFitted  bool
+}
+
+// NewARIMA returns an unfitted seasonal ARIMA model. period is the seasonal
+// lag m; it is only relevant when the seasonal order is non-zero.
+func NewARIMA(ord, sord Order, period int) *ARIMA {
+	if period < 1 {
+		period = 1
+	}
+	return &ARIMA{Ord: ord, SOrd: sord, Period: period}
+}
+
+// Name implements Model.
+func (m *ARIMA) Name() string { return "arima" }
+
+// NParams implements Model.
+func (m *ARIMA) NParams() int {
+	return m.Ord.P + m.Ord.Q + m.SOrd.P + m.SOrd.Q + 1
+}
+
+// Fitted implements Model.
+func (m *ARIMA) Fitted() bool { return m.IsFitted }
+
+// expandAR multiplies φ(B) and Φ(B^m) into one coefficient vector a where
+// the combined polynomial is 1 - Σ a_i B^i. Input coefficient sign
+// convention: polynomial 1 - Σ φ_i B^i.
+func expandPoly(coefs, scoefs []float64, period int) []float64 {
+	// Represent polynomials with full coefficient arrays, index = lag,
+	// value at lag 0 = 1, other lags carry -coef.
+	n1 := len(coefs)
+	n2 := len(scoefs) * period
+	full := make([]float64, n1+n2+1)
+	full[0] = 1
+	p1 := make([]float64, n1+1)
+	p1[0] = 1
+	for i, c := range coefs {
+		p1[i+1] = -c
+	}
+	p2 := make([]float64, n2+1)
+	p2[0] = 1
+	for i, c := range scoefs {
+		p2[(i+1)*period] = -c
+	}
+	for i := range full {
+		full[i] = 0
+	}
+	for i, a := range p1 {
+		if a == 0 {
+			continue
+		}
+		for j, b := range p2 {
+			if b == 0 {
+				continue
+			}
+			full[i+j] += a * b
+		}
+	}
+	// Convert back to "1 - Σ a_i B^i" form: a_i = -full[i], skipping lag 0.
+	out := make([]float64, len(full)-1)
+	for i := 1; i < len(full); i++ {
+		out[i-1] = -full[i]
+	}
+	return out
+}
+
+// difference applies d regular and D seasonal differences and returns the
+// differenced values.
+func difference(values []float64, d, sd, period int) []float64 {
+	v := values
+	for i := 0; i < d; i++ {
+		if len(v) < 2 {
+			return nil
+		}
+		nv := make([]float64, len(v)-1)
+		for j := range nv {
+			nv[j] = v[j+1] - v[j]
+		}
+		v = nv
+	}
+	for i := 0; i < sd; i++ {
+		if len(v) <= period {
+			return nil
+		}
+		nv := make([]float64, len(v)-period)
+		for j := range nv {
+			nv[j] = v[j+period] - v[j]
+		}
+		v = nv
+	}
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// cssResiduals runs the ARMA recursion on the differenced series w with the
+// combined coefficient vectors, returning the residual series. Pre-sample
+// values and residuals are treated as zero (conditional sum of squares).
+func cssResiduals(w []float64, ar, ma []float64, c float64) []float64 {
+	res := make([]float64, len(w))
+	for t := range w {
+		pred := c
+		for i, a := range ar {
+			if t-i-1 >= 0 {
+				pred += a * w[t-i-1]
+			}
+		}
+		for i, b := range ma {
+			if t-i-1 >= 0 {
+				pred += b * res[t-i-1]
+			}
+		}
+		res[t] = w[t] - pred
+	}
+	return res
+}
+
+// minObs returns the minimum observations needed to fit this model.
+func (m *ARIMA) minObs() int {
+	base := m.Ord.D + m.SOrd.D*m.Period
+	lags := m.Ord.P + m.SOrd.P*m.Period
+	if q := m.Ord.Q + m.SOrd.Q*m.Period; q > lags {
+		lags = q
+	}
+	n := base + lags + m.NParams() + 2
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// Fit implements Model.
+func (m *ARIMA) Fit(s *timeseries.Series) error {
+	if s.Len() < m.minObs() {
+		return ErrTooShort
+	}
+	w := difference(s.Values, m.Ord.D, m.SOrd.D, m.Period)
+	if len(w) < 3 {
+		return ErrTooShort
+	}
+	var mean float64
+	for _, v := range w {
+		mean += v
+	}
+	mean /= float64(len(w))
+
+	np := m.Ord.P
+	nq := m.Ord.Q
+	nsp := m.SOrd.P
+	nsq := m.SOrd.Q
+	dim := np + nq + nsp + nsq
+	unpack := func(x []float64) (phi, theta, sphi, stheta []float64, pen float64) {
+		phi = make([]float64, np)
+		theta = make([]float64, nq)
+		sphi = make([]float64, nsp)
+		stheta = make([]float64, nsq)
+		k := 0
+		grab := func(dst []float64) {
+			for i := range dst {
+				v := x[k]
+				k++
+				pen += penalty(v, -0.98, 0.98)
+				dst[i] = clamp01(v, -0.98, 0.98)
+			}
+		}
+		grab(phi)
+		grab(theta)
+		grab(sphi)
+		grab(stheta)
+		return
+	}
+
+	css := func(x []float64) float64 {
+		phi, theta, sphi, stheta, pen := unpack(x)
+		ar := expandPoly(phi, sphi, m.Period)
+		ma := expandNegPoly(theta, stheta, m.Period)
+		// Constant chosen so the process mean matches the sample mean.
+		c := mean * (1 - sum(ar))
+		res := cssResiduals(w, ar, ma, c)
+		var sse float64
+		for _, e := range res {
+			sse += e * e
+		}
+		if math.IsNaN(sse) || math.IsInf(sse, 0) {
+			return math.Inf(1)
+		}
+		return sse * (1 + pen)
+	}
+
+	if dim == 0 {
+		m.Phi, m.Theta, m.SPhi, m.STheta = nil, nil, nil, nil
+	} else {
+		x0 := make([]float64, dim)
+		for i := range x0 {
+			x0[i] = 0.1
+		}
+		res := optimize.NelderMead(css, x0, optimize.NelderMeadOptions{MaxIter: 200 * dim})
+		m.Phi, m.Theta, m.SPhi, m.STheta, _ = unpack(res.X)
+	}
+	ar := expandPoly(m.Phi, m.SPhi, m.Period)
+	m.Constant = mean * (1 - sum(ar))
+	ma := expandNegPoly(m.Theta, m.STheta, m.Period)
+	m.Residuals = cssResiduals(w, ar, ma, m.Constant)
+	m.History = make([]float64, s.Len())
+	copy(m.History, s.Values)
+	m.IsFitted = true
+	return nil
+}
+
+// expandNegPoly expands MA polynomials θ(B)Θ(B^m), convention
+// 1 + Σ θ_i B^i, returning combined coefficients b_i with polynomial
+// 1 + Σ b_i B^i.
+func expandNegPoly(coefs, scoefs []float64, period int) []float64 {
+	n1 := len(coefs)
+	n2 := len(scoefs) * period
+	p1 := make([]float64, n1+1)
+	p1[0] = 1
+	for i, c := range coefs {
+		p1[i+1] = c
+	}
+	p2 := make([]float64, n2+1)
+	p2[0] = 1
+	for i, c := range scoefs {
+		p2[(i+1)*period] = c
+	}
+	full := make([]float64, n1+n2+1)
+	for i, a := range p1 {
+		if a == 0 {
+			continue
+		}
+		for j, b := range p2 {
+			if b == 0 {
+				continue
+			}
+			full[i+j] += a * b
+		}
+	}
+	out := make([]float64, len(full)-1)
+	for i := 1; i < len(full); i++ {
+		out[i-1] = full[i]
+	}
+	return out
+}
+
+func sum(xs []float64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Forecast implements Model. It runs the ARMA recursion forward on the
+// differenced scale (future residuals zero) and integrates the differences
+// back to the original scale.
+func (m *ARIMA) Forecast(h int) []float64 {
+	w := difference(m.History, m.Ord.D, m.SOrd.D, m.Period)
+	ar := expandPoly(m.Phi, m.SPhi, m.Period)
+	ma := expandNegPoly(m.Theta, m.STheta, m.Period)
+
+	// Extend the differenced series h steps ahead.
+	wext := make([]float64, len(w), len(w)+h)
+	copy(wext, w)
+	rext := make([]float64, len(m.Residuals), len(m.Residuals)+h)
+	copy(rext, m.Residuals)
+	for t := len(w); t < len(w)+h; t++ {
+		pred := m.Constant
+		for i, a := range ar {
+			if t-i-1 >= 0 {
+				pred += a * wext[t-i-1]
+			}
+		}
+		for i, b := range ma {
+			if t-i-1 >= 0 && t-i-1 < len(rext) {
+				pred += b * rext[t-i-1]
+			}
+		}
+		wext = append(wext, pred)
+		rext = append(rext, 0)
+	}
+
+	// Integrate: invert seasonal differencing first (it was applied last).
+	fc := wext[len(w):]
+	return m.integrate(fc)
+}
+
+// integrate inverts the differencing applied during Fit for the h forecast
+// values on the differenced scale.
+func (m *ARIMA) integrate(diffFc []float64) []float64 {
+	h := len(diffFc)
+	// Reconstruct the intermediate series stack: history differenced
+	// 0..d times regular, then 0..D times seasonal. Invert in reverse.
+	// levels[0] = original history; levels[i] = after i difference steps.
+	type step struct {
+		lag int
+	}
+	var steps []step
+	for i := 0; i < m.Ord.D; i++ {
+		steps = append(steps, step{lag: 1})
+	}
+	for i := 0; i < m.SOrd.D; i++ {
+		steps = append(steps, step{lag: m.Period})
+	}
+	// levelSeries[i] = history after the first i steps.
+	levelSeries := make([][]float64, len(steps)+1)
+	levelSeries[0] = m.History
+	for i, st := range steps {
+		prev := levelSeries[i]
+		if len(prev) <= st.lag {
+			levelSeries[i+1] = nil
+			continue
+		}
+		nv := make([]float64, len(prev)-st.lag)
+		for j := range nv {
+			nv[j] = prev[j+st.lag] - prev[j]
+		}
+		levelSeries[i+1] = nv
+	}
+	fc := diffFc
+	for i := len(steps) - 1; i >= 0; i-- {
+		lag := steps[i].lag
+		base := levelSeries[i]
+		integrated := make([]float64, h)
+		// x_{n+k} = x_{n+k-lag} + w_{n+k}, where past values come from
+		// base and already-integrated forecasts.
+		for k := 0; k < h; k++ {
+			idx := len(base) + k - lag
+			var prev float64
+			if idx < len(base) {
+				prev = base[idx]
+			} else {
+				prev = integrated[idx-len(base)]
+			}
+			integrated[k] = prev + fc[k]
+		}
+		fc = integrated
+	}
+	out := make([]float64, h)
+	copy(out, fc)
+	return out
+}
+
+// Update implements Model: appends the observation and advances the
+// residual recursion by one step without re-estimating parameters.
+func (m *ARIMA) Update(x float64) {
+	m.History = append(m.History, x)
+	w := difference(m.History, m.Ord.D, m.SOrd.D, m.Period)
+	if len(w) == 0 {
+		return
+	}
+	ar := expandPoly(m.Phi, m.SPhi, m.Period)
+	ma := expandNegPoly(m.Theta, m.STheta, m.Period)
+	t := len(w) - 1
+	pred := m.Constant
+	for i, a := range ar {
+		if t-i-1 >= 0 {
+			pred += a * w[t-i-1]
+		}
+	}
+	for i, b := range ma {
+		if t-i-1 >= 0 && t-i-1 < len(m.Residuals) {
+			pred += b * m.Residuals[t-i-1]
+		}
+	}
+	m.Residuals = append(m.Residuals, w[t]-pred)
+}
+
+// ResidualStd implements Uncertainty.
+func (m *ARIMA) ResidualStd() float64 {
+	if len(m.Residuals) == 0 {
+		return 0
+	}
+	return math.Sqrt(m.SSE() / float64(len(m.Residuals)))
+}
+
+// SSE returns the conditional sum of squared residuals of the fitted model.
+func (m *ARIMA) SSE() float64 {
+	var s float64
+	for _, e := range m.Residuals {
+		s += e * e
+	}
+	return s
+}

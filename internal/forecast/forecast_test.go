@@ -1,0 +1,502 @@
+package forecast
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cubefc/internal/timeseries"
+)
+
+// seasonalSeries builds level + slope·t + amp·sin season + optional noise.
+func seasonalSeries(n, period int, level, slope, amp, noiseStd float64, seed int64) *timeseries.Series {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, n)
+	for t := range vals {
+		season := amp * math.Sin(2*math.Pi*float64(t%period)/float64(period))
+		vals[t] = level + slope*float64(t) + season + rng.NormFloat64()*noiseStd
+	}
+	return timeseries.New(vals, period)
+}
+
+func TestNaive(t *testing.T) {
+	m := NewNaive()
+	if m.Fitted() {
+		t.Fatal("unfitted model reports Fitted")
+	}
+	if err := m.Fit(timeseries.New([]float64{1, 2, 7}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Forecast(3)
+	for _, v := range fc {
+		if v != 7 {
+			t.Fatalf("naive forecast = %v, want all 7", fc)
+		}
+	}
+	m.Update(9)
+	if m.Forecast(1)[0] != 9 {
+		t.Fatal("naive Update not applied")
+	}
+}
+
+func TestNaiveTooShort(t *testing.T) {
+	if err := NewNaive().Fit(timeseries.New(nil, 0)); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("err = %v, want ErrTooShort", err)
+	}
+}
+
+func TestSeasonalNaive(t *testing.T) {
+	m := NewSeasonalNaive(3)
+	if err := m.Fit(timeseries.New([]float64{1, 2, 3, 4, 5, 6}, 3)); err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Forecast(4)
+	want := []float64{4, 5, 6, 4}
+	for i := range want {
+		if fc[i] != want[i] {
+			t.Fatalf("snaive forecast = %v, want %v", fc, want)
+		}
+	}
+	m.Update(7) // season becomes [5 6 7]
+	if got := m.Forecast(1)[0]; got != 5 {
+		t.Fatalf("after Update forecast = %v, want 5", got)
+	}
+}
+
+func TestSeasonalNaivePeriodOne(t *testing.T) {
+	m := NewSeasonalNaive(0) // degrades to naive
+	if err := m.Fit(timeseries.New([]float64{3, 8}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Forecast(2)[1] != 8 {
+		t.Fatal("period<=1 seasonal naive should behave like naive")
+	}
+}
+
+func TestDrift(t *testing.T) {
+	m := NewDrift()
+	if err := m.Fit(timeseries.New([]float64{0, 1, 2, 3}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Forecast(2)
+	if math.Abs(fc[0]-4) > 1e-12 || math.Abs(fc[1]-5) > 1e-12 {
+		t.Fatalf("drift forecast = %v, want [4 5]", fc)
+	}
+}
+
+func TestMeanModel(t *testing.T) {
+	m := NewMean()
+	if err := m.Fit(timeseries.New([]float64{2, 4}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Forecast(1)[0] != 3 {
+		t.Fatal("mean model wrong")
+	}
+	m.Update(9) // mean of {2,4,9} = 5
+	if m.Forecast(1)[0] != 5 {
+		t.Fatalf("mean after update = %v, want 5", m.Forecast(1)[0])
+	}
+}
+
+func TestSESConstantSeries(t *testing.T) {
+	m := NewSES()
+	if err := m.Fit(timeseries.New([]float64{5, 5, 5, 5, 5}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Forecast(3)[2]-5) > 1e-9 {
+		t.Fatalf("SES constant forecast = %v", m.Forecast(3))
+	}
+}
+
+func TestSESTracksLevelShift(t *testing.T) {
+	vals := make([]float64, 60)
+	for i := range vals {
+		if i < 30 {
+			vals[i] = 10
+		} else {
+			vals[i] = 20
+		}
+	}
+	m := NewSES()
+	if err := m.Fit(timeseries.New(vals, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if fc := m.Forecast(1)[0]; math.Abs(fc-20) > 1 {
+		t.Fatalf("SES after level shift forecasts %v, want ≈20", fc)
+	}
+}
+
+func TestHoltLinearTrend(t *testing.T) {
+	vals := make([]float64, 40)
+	for i := range vals {
+		vals[i] = 3 + 2*float64(i)
+	}
+	m := NewHolt(false)
+	if err := m.Fit(timeseries.New(vals, 0)); err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Forecast(3)
+	for i, want := range []float64{3 + 2*40, 3 + 2*41, 3 + 2*42} {
+		if math.Abs(fc[i]-want) > 0.5 {
+			t.Fatalf("Holt forecast = %v, want ≈%v at h=%d", fc, want, i+1)
+		}
+	}
+}
+
+func TestHoltDampedFlattens(t *testing.T) {
+	vals := make([]float64, 40)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	m := NewHolt(true)
+	if err := m.Fit(timeseries.New(vals, 0)); err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Forecast(100)
+	growthLate := fc[99] - fc[98]
+	growthEarly := fc[1] - fc[0]
+	if growthLate >= growthEarly {
+		t.Fatalf("damped Holt should flatten: early %v late %v", growthEarly, growthLate)
+	}
+}
+
+func TestHoltTooShort(t *testing.T) {
+	if err := NewHolt(false).Fit(timeseries.New([]float64{1, 2}, 0)); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHoltWintersAdditive(t *testing.T) {
+	s := seasonalSeries(48, 4, 100, 0.5, 10, 0, 1)
+	m := NewHoltWinters(4, Additive)
+	if err := m.Fit(s); err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Forecast(4)
+	for i := 0; i < 4; i++ {
+		tIdx := 48 + i
+		want := 100 + 0.5*float64(tIdx) + 10*math.Sin(2*math.Pi*float64(tIdx%4)/4)
+		if math.Abs(fc[i]-want) > 2 {
+			t.Fatalf("HW-add h=%d forecast %v, want ≈%v", i+1, fc[i], want)
+		}
+	}
+}
+
+func TestHoltWintersMultiplicative(t *testing.T) {
+	vals := make([]float64, 48)
+	for i := range vals {
+		season := 1 + 0.3*math.Sin(2*math.Pi*float64(i%4)/4)
+		vals[i] = (50 + float64(i)) * season
+	}
+	m := NewHoltWinters(4, Multiplicative)
+	if err := m.Fit(timeseries.New(vals, 4)); err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Forecast(4)
+	for i := 0; i < 4; i++ {
+		tIdx := 48 + i
+		want := (50 + float64(tIdx)) * (1 + 0.3*math.Sin(2*math.Pi*float64(tIdx%4)/4))
+		if math.Abs(fc[i]-want)/want > 0.1 {
+			t.Fatalf("HW-mult h=%d forecast %v, want ≈%v", i+1, fc[i], want)
+		}
+	}
+}
+
+func TestHoltWintersMultiplicativeRejectsNonPositive(t *testing.T) {
+	vals := []float64{1, 2, 0, 4, 5, 6, 7, 8, 9, 10, 11}
+	if err := NewHoltWinters(2, Multiplicative).Fit(timeseries.New(vals, 2)); err == nil {
+		t.Fatal("multiplicative HW on non-positive data should fail")
+	}
+}
+
+func TestHoltWintersTooShort(t *testing.T) {
+	if err := NewHoltWinters(12, Additive).Fit(seasonalSeries(20, 12, 10, 0, 1, 0, 1)); !errors.Is(err, ErrTooShort) {
+		t.Fatal("HW needs two full seasons")
+	}
+	if err := NewHoltWinters(1, Additive).Fit(seasonalSeries(20, 1, 10, 0, 1, 0, 1)); !errors.Is(err, ErrTooShort) {
+		t.Fatal("HW needs period >= 2")
+	}
+}
+
+func TestHoltWintersUpdateMatchesRefit(t *testing.T) {
+	// Updating with k new values must keep the same state trajectory as
+	// replaying the recurrence over the longer series with equal params.
+	s := seasonalSeries(40, 4, 100, 0.5, 10, 0.5, 2)
+	m := NewHoltWinters(4, Additive)
+	if err := m.Fit(s.Slice(0, 36)); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s.Values[36:] {
+		m.Update(v)
+	}
+	m2 := &HoltWinters{Period: 4, Mode: Additive, Alpha: m.Alpha, Beta: m.Beta, Gamma: m.Gamma}
+	_, st := m2.hwReplay(s.Values, m.Alpha, m.Beta, m.Gamma)
+	if math.Abs(st.level-m.Level) > 1e-9 || math.Abs(st.trend-m.Trend) > 1e-9 {
+		t.Fatalf("Update state (l=%v b=%v) != replay state (l=%v b=%v)", m.Level, m.Trend, st.level, st.trend)
+	}
+}
+
+func TestSESUpdateMatchesRecurrence(t *testing.T) {
+	m := NewSES()
+	if err := m.Fit(timeseries.New([]float64{1, 2, 3, 4, 5}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	level := m.Level
+	m.Update(10)
+	want := m.Alpha*10 + (1-m.Alpha)*level
+	if math.Abs(m.Level-want) > 1e-12 {
+		t.Fatalf("SES Update level = %v, want %v", m.Level, want)
+	}
+}
+
+func TestARIMARecoverAR1(t *testing.T) {
+	// Simulate AR(1) with phi = 0.7 and verify CSS recovers it roughly.
+	rng := rand.New(rand.NewSource(3))
+	n := 400
+	vals := make([]float64, n)
+	for i := 1; i < n; i++ {
+		vals[i] = 0.7*vals[i-1] + rng.NormFloat64()
+	}
+	m := NewARIMA(Order{P: 1}, Order{}, 1)
+	if err := m.Fit(timeseries.New(vals, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Phi[0]-0.7) > 0.15 {
+		t.Fatalf("AR(1) estimate = %v, want ≈0.7", m.Phi[0])
+	}
+}
+
+func TestARIMAIntegratedTrend(t *testing.T) {
+	// A deterministic trend is captured by d=1 with constant drift.
+	vals := make([]float64, 60)
+	for i := range vals {
+		vals[i] = 5 + 3*float64(i)
+	}
+	m := NewARIMA(Order{D: 1}, Order{}, 1)
+	if err := m.Fit(timeseries.New(vals, 1)); err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Forecast(3)
+	for i, want := range []float64{5 + 3*60, 5 + 3*61, 5 + 3*62} {
+		if math.Abs(fc[i]-want) > 1 {
+			t.Fatalf("ARIMA(0,1,0)+c forecast = %v, want %v at h=%d", fc, want, i)
+		}
+	}
+}
+
+func TestARIMASeasonalDifference(t *testing.T) {
+	// Pure seasonal pattern: SARIMA (0,0,0)(0,1,0)_4 repeats the season.
+	vals := make([]float64, 32)
+	pattern := []float64{10, 20, 30, 40}
+	for i := range vals {
+		vals[i] = pattern[i%4]
+	}
+	m := NewARIMA(Order{}, Order{D: 1}, 4)
+	if err := m.Fit(timeseries.New(vals, 4)); err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Forecast(4)
+	for i := range fc {
+		if math.Abs(fc[i]-pattern[i]) > 1e-6 {
+			t.Fatalf("seasonal ARIMA forecast = %v, want %v", fc, pattern)
+		}
+	}
+}
+
+func TestARIMAUpdateExtendsHistory(t *testing.T) {
+	s := seasonalSeries(60, 4, 50, 0.2, 5, 0.5, 4)
+	m := NewARIMA(Order{P: 1, D: 1, Q: 1}, Order{}, 4)
+	if err := m.Fit(s); err != nil {
+		t.Fatal(err)
+	}
+	resBefore := len(m.Residuals)
+	m.Update(57)
+	if len(m.History) != 61 {
+		t.Fatalf("history length = %d, want 61", len(m.History))
+	}
+	if len(m.Residuals) != resBefore+1 {
+		t.Fatalf("residuals not extended: %d -> %d", resBefore, len(m.Residuals))
+	}
+}
+
+func TestARIMATooShort(t *testing.T) {
+	m := NewARIMA(Order{P: 2, D: 1, Q: 2}, Order{P: 1, D: 1, Q: 1}, 12)
+	if err := m.Fit(timeseries.New(make([]float64, 10), 12)); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("err = %v, want ErrTooShort", err)
+	}
+}
+
+func TestExpandPoly(t *testing.T) {
+	// (1 - 0.5B)(1 - 0.3B^2) = 1 - 0.5B - 0.3B^2 + 0.15B^3
+	got := expandPoly([]float64{0.5}, []float64{0.3}, 2)
+	want := []float64{0.5, 0.3, -0.15}
+	if len(got) != len(want) {
+		t.Fatalf("expandPoly = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("expandPoly = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExpandNegPoly(t *testing.T) {
+	// (1 + 0.5B)(1 + 0.3B^2) = 1 + 0.5B + 0.3B^2 + 0.15B^3
+	got := expandNegPoly([]float64{0.5}, []float64{0.3}, 2)
+	want := []float64{0.5, 0.3, 0.15}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("expandNegPoly = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDifferenceRoundTripLengths(t *testing.T) {
+	f := func(n uint8) bool {
+		ln := int(n%40) + 20
+		vals := make([]float64, ln)
+		for i := range vals {
+			vals[i] = float64(i * i)
+		}
+		d := difference(vals, 1, 1, 4)
+		return len(d) == ln-1-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAutoPicksSeasonalModelOnSeasonalData(t *testing.T) {
+	s := seasonalSeries(60, 6, 100, 0.3, 20, 1, 5)
+	m := NewAuto(6)
+	if err := m.Fit(s); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Fitted() || m.Chosen == nil {
+		t.Fatal("auto did not fit")
+	}
+	fc := m.Forecast(6)
+	err := timeseries.SMAPE([]float64{
+		100 + 0.3*60 + 20*math.Sin(2*math.Pi*0/6),
+		100 + 0.3*61 + 20*math.Sin(2*math.Pi*1/6),
+		100 + 0.3*62 + 20*math.Sin(2*math.Pi*2/6),
+		100 + 0.3*63 + 20*math.Sin(2*math.Pi*3/6),
+		100 + 0.3*64 + 20*math.Sin(2*math.Pi*4/6),
+		100 + 0.3*65 + 20*math.Sin(2*math.Pi*5/6),
+	}, fc)
+	if err > 0.1 {
+		t.Fatalf("auto forecast SMAPE = %v (chosen %s)", err, m.Name())
+	}
+}
+
+func TestAutoFallsBackOnTinySeries(t *testing.T) {
+	m := NewAuto(12)
+	if err := m.Fit(timeseries.New([]float64{1, 2, 3}, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Chosen == nil {
+		t.Fatal("auto should have fallen back to a simple model")
+	}
+}
+
+func TestNewByNameAllFamilies(t *testing.T) {
+	for _, name := range []string{"naive", "snaive", "drift", "mean", "ses", "holt", "holt-damped", "hw-add", "hw-mult", "arima", "auto", "croston", "croston-sba", "theta"} {
+		m, err := NewByName(name, 4)
+		if err != nil {
+			t.Fatalf("NewByName(%q): %v", name, err)
+		}
+		if m == nil {
+			t.Fatalf("NewByName(%q) returned nil", name)
+		}
+	}
+	if _, err := NewByName("nope", 4); err == nil {
+		t.Fatal("unknown family should fail")
+	}
+}
+
+func TestFactoryByName(t *testing.T) {
+	f, err := FactoryByName("ses")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f(4).Name() != "ses" {
+		t.Fatal("factory produced wrong family")
+	}
+	if _, err := FactoryByName("bogus"); err == nil {
+		t.Fatal("unknown factory should fail")
+	}
+}
+
+func TestAIC(t *testing.T) {
+	if !math.IsInf(AIC(0, 10, 2), 1) {
+		t.Error("AIC with zero SSE should be +Inf")
+	}
+	// More parameters at equal SSE must increase AIC.
+	if AIC(10, 100, 2) >= AIC(10, 100, 5) {
+		t.Error("AIC should penalize parameters")
+	}
+}
+
+func TestBacktest(t *testing.T) {
+	s := seasonalSeries(50, 5, 100, 0, 10, 0.1, 6)
+	err, ferr := Backtest(func(p int) Model { return NewSeasonalNaive(p) }, s, 0.8)
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if err < 0 || err > 0.2 {
+		t.Fatalf("seasonal-naive backtest SMAPE = %v", err)
+	}
+	if _, ferr := Backtest(func(p int) Model { return NewNaive() }, s, 1.0); ferr == nil {
+		t.Fatal("backtest with empty test part should fail")
+	}
+}
+
+func TestGobRoundTripAllModels(t *testing.T) {
+	s := seasonalSeries(48, 4, 100, 0.5, 10, 0.5, 7)
+	models := []Model{
+		NewNaive(), NewSeasonalNaive(4), NewDrift(), NewMean(),
+		NewSES(), NewHolt(false), NewHolt(true),
+		NewHoltWinters(4, Additive),
+		NewARIMA(Order{P: 1, D: 1, Q: 1}, Order{}, 4),
+		NewAuto(4),
+		NewCroston(true),
+		NewTheta(4),
+	}
+	for _, m := range models {
+		if err := m.Fit(s); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&m); err != nil {
+			t.Fatalf("%s encode: %v", m.Name(), err)
+		}
+		var back Model
+		if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+			t.Fatalf("%s decode: %v", m.Name(), err)
+		}
+		a, b := m.Forecast(5), back.Forecast(5)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-9 {
+				t.Fatalf("%s: forecast changed after gob round trip: %v vs %v", m.Name(), a, b)
+			}
+		}
+	}
+}
+
+func TestModelsImproveOnNaiveForStructuredData(t *testing.T) {
+	// Property-style check: on clean seasonal data with trend, HW must
+	// beat the plain naive forecast.
+	s := seasonalSeries(60, 6, 200, 1, 30, 2, 8)
+	hwErr, err1 := Backtest(func(p int) Model { return NewHoltWinters(p, Additive) }, s, 0.8)
+	nvErr, err2 := Backtest(func(p int) Model { return NewNaive() }, s, 0.8)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if hwErr >= nvErr {
+		t.Fatalf("HW (%v) should beat naive (%v) on seasonal data", hwErr, nvErr)
+	}
+}

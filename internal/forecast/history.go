@@ -1,0 +1,90 @@
+package forecast
+
+import (
+	"math"
+
+	"cubefc/internal/timeseries"
+)
+
+// SelectHistoryLength determines a suitable training-history length for a
+// series, inspired by the skip-list approach of Ge and Zdonik that the
+// paper cites for very long time series: instead of always fitting on the
+// full history, geometrically halved suffix windows (full, 1/2, 1/4, …,
+// down to minLen) are backtested, and the shortest window whose holdout
+// SMAPE is within tolerance of the best is returned. Old regimes that no
+// longer describe the series are dropped this way, and model maintenance
+// gets cheaper with shorter states.
+//
+// minLen <= 0 defaults to 3 seasonal periods (or 12 observations for
+// non-seasonal series); tolerance <= 0 defaults to 5%.
+func SelectHistoryLength(s *timeseries.Series, factory Factory, minLen int, tolerance float64) (int, error) {
+	n := s.Len()
+	if minLen <= 0 {
+		if s.Period >= 2 {
+			minLen = 3 * s.Period
+		} else {
+			minLen = 12
+		}
+	}
+	if tolerance <= 0 {
+		tolerance = 0.05
+	}
+	if n <= minLen {
+		return n, nil
+	}
+
+	// Candidate windows: geometric halving from the full history.
+	var windows []int
+	for w := n; w >= minLen; w /= 2 {
+		windows = append(windows, w)
+	}
+	if windows[len(windows)-1] != minLen {
+		windows = append(windows, minLen)
+	}
+
+	type scored struct {
+		window int
+		err    float64
+	}
+	results := make([]scored, 0, len(windows))
+	for _, w := range windows {
+		suffix := s.Slice(n-w, n)
+		err, ferr := Backtest(factory, suffix, 0.8)
+		if ferr != nil || math.IsNaN(err) {
+			continue
+		}
+		results = append(results, scored{window: w, err: err})
+	}
+	if len(results) == 0 {
+		return n, ErrTooShort
+	}
+	best := math.Inf(1)
+	for _, r := range results {
+		if r.err < best {
+			best = r.err
+		}
+	}
+	// Shortest window within tolerance of the best error.
+	choice := results[0].window
+	for _, r := range results {
+		if r.err <= best*(1+tolerance) && r.window < choice {
+			choice = r.window
+		}
+	}
+	return choice, nil
+}
+
+// FitWithHistorySelection fits a model from factory on the suffix window
+// chosen by SelectHistoryLength and returns the fitted model together with
+// the window length used.
+func FitWithHistorySelection(s *timeseries.Series, factory Factory, minLen int, tolerance float64) (Model, int, error) {
+	w, err := SelectHistoryLength(s, factory, minLen, tolerance)
+	if err != nil {
+		return nil, 0, err
+	}
+	m := factory(s.Period)
+	if ferr := m.Fit(s.Slice(s.Len()-w, s.Len())); ferr != nil {
+		return nil, 0, ferr
+	}
+	return m, w, nil
+}

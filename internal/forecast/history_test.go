@@ -1,0 +1,86 @@
+package forecast
+
+import (
+	"math/rand"
+	"testing"
+
+	"cubefc/internal/timeseries"
+)
+
+func TestSelectHistoryLengthRegimeChange(t *testing.T) {
+	// First half is an unrelated regime; a window that excludes it should
+	// be preferred.
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 200)
+	for i := range vals {
+		if i < 100 {
+			vals[i] = 500 - 4*float64(i) + rng.NormFloat64()*5 // old falling regime
+		} else {
+			vals[i] = 100 + 2*float64(i-100) + rng.NormFloat64()*2 // current rising regime
+		}
+	}
+	s := timeseries.New(vals, 1)
+	factory := func(p int) Model { return NewHolt(false) }
+	w, err := SelectHistoryLength(s, factory, 20, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w >= 200 {
+		t.Fatalf("window %d should exclude the old regime", w)
+	}
+}
+
+func TestSelectHistoryLengthStableSeries(t *testing.T) {
+	// On a homogeneous series any window works; the tolerance rule then
+	// picks a short one (cheaper maintenance), which must still be at
+	// least minLen.
+	vals := make([]float64, 128)
+	for i := range vals {
+		vals[i] = 10 + float64(i)
+	}
+	s := timeseries.New(vals, 1)
+	factory := func(p int) Model { return NewHolt(false) }
+	w, err := SelectHistoryLength(s, factory, 16, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w < 16 || w > 128 {
+		t.Fatalf("window %d out of range", w)
+	}
+}
+
+func TestSelectHistoryLengthShortSeries(t *testing.T) {
+	s := timeseries.New([]float64{1, 2, 3}, 1)
+	w, err := SelectHistoryLength(s, func(p int) Model { return NewNaive() }, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 3 {
+		t.Fatalf("short series should use full history, got %d", w)
+	}
+}
+
+func TestFitWithHistorySelection(t *testing.T) {
+	vals := make([]float64, 96)
+	for i := range vals {
+		vals[i] = 50 + float64(i%12)
+	}
+	s := timeseries.New(vals, 12)
+	m, w, err := FitWithHistorySelection(s, func(p int) Model { return NewSeasonalNaive(p) }, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Fitted() {
+		t.Fatal("model not fitted")
+	}
+	if w < 36 {
+		t.Fatalf("window %d below the 3-period default minimum", w)
+	}
+	fc := m.Forecast(12)
+	for i, v := range fc {
+		want := 50 + float64((96+i)%12)
+		if v != want {
+			t.Fatalf("forecast[%d] = %v, want %v", i, v, want)
+		}
+	}
+}

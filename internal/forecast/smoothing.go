@@ -1,0 +1,403 @@
+package forecast
+
+import (
+	"math"
+
+	"cubefc/internal/optimize"
+	"cubefc/internal/timeseries"
+)
+
+// SES is simple exponential smoothing with smoothing parameter Alpha
+// estimated by minimizing the in-sample sum of squared one-step errors.
+type SES struct {
+	Alpha    float64
+	Level    float64
+	ResidStd float64
+	IsFitted bool
+}
+
+// NewSES returns an unfitted simple-exponential-smoothing model.
+func NewSES() *SES { return &SES{} }
+
+// Name implements Model.
+func (m *SES) Name() string { return "ses" }
+
+// NParams implements Model.
+func (m *SES) NParams() int { return 1 }
+
+// Fitted implements Model.
+func (m *SES) Fitted() bool { return m.IsFitted }
+
+// Fit implements Model.
+func (m *SES) Fit(s *timeseries.Series) error {
+	if s.Len() < 2 {
+		return ErrTooShort
+	}
+	sse := func(alpha float64) float64 {
+		level := s.Values[0]
+		var acc float64
+		for _, x := range s.Values[1:] {
+			e := x - level
+			acc += e * e
+			level = alpha*x + (1-alpha)*level
+		}
+		return acc
+	}
+	var bestSSE float64
+	m.Alpha, bestSSE = optimize.GoldenSection(sse, 1e-4, 1-1e-4, 1e-6)
+	m.ResidStd = math.Sqrt(bestSSE / float64(s.Len()-1))
+	// Replay to initialize the state at the end of the series.
+	m.Level = s.Values[0]
+	for _, x := range s.Values[1:] {
+		m.Level = m.Alpha*x + (1-m.Alpha)*m.Level
+	}
+	m.IsFitted = true
+	return nil
+}
+
+// ResidualStd implements Uncertainty.
+func (m *SES) ResidualStd() float64 { return m.ResidStd }
+
+// Forecast implements Model.
+func (m *SES) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	for i := range out {
+		out[i] = m.Level
+	}
+	return out
+}
+
+// Update implements Model.
+func (m *SES) Update(x float64) {
+	m.Level = m.Alpha*x + (1-m.Alpha)*m.Level
+}
+
+// Holt is double exponential smoothing (level + trend) with optional
+// damping. Parameters Alpha, Beta (and Phi when damped) are estimated by
+// Nelder-Mead on the in-sample SSE.
+type Holt struct {
+	Alpha, Beta, Phi float64
+	Damped           bool
+	Level, Trend     float64
+	ResidStd         float64
+	IsFitted         bool
+}
+
+// NewHolt returns an unfitted Holt linear-trend model.
+func NewHolt(damped bool) *Holt { return &Holt{Damped: damped, Phi: 1} }
+
+// Name implements Model.
+func (m *Holt) Name() string {
+	if m.Damped {
+		return "holt-damped"
+	}
+	return "holt"
+}
+
+// NParams implements Model.
+func (m *Holt) NParams() int {
+	if m.Damped {
+		return 3
+	}
+	return 2
+}
+
+// Fitted implements Model.
+func (m *Holt) Fitted() bool { return m.IsFitted }
+
+// holtSSE replays the Holt recurrence and returns the in-sample SSE.
+// The final level/trend state is written into the provided pointers when
+// they are non-nil.
+func holtSSE(values []float64, alpha, beta, phi float64, outLevel, outTrend *float64) float64 {
+	level := values[0]
+	trend := values[1] - values[0]
+	var acc float64
+	for _, x := range values[1:] {
+		fc := level + phi*trend
+		e := x - fc
+		acc += e * e
+		newLevel := alpha*x + (1-alpha)*fc
+		trend = beta*(newLevel-level) + (1-beta)*phi*trend
+		level = newLevel
+	}
+	if outLevel != nil {
+		*outLevel = level
+	}
+	if outTrend != nil {
+		*outTrend = trend
+	}
+	return acc
+}
+
+// Fit implements Model.
+func (m *Holt) Fit(s *timeseries.Series) error {
+	if s.Len() < 3 {
+		return ErrTooShort
+	}
+	obj := func(p []float64) float64 {
+		alpha := clamp01(p[0], 1e-4, 1-1e-4)
+		beta := clamp01(p[1], 1e-4, 1-1e-4)
+		phi := 1.0
+		if m.Damped {
+			phi = clamp01(p[2], 0.8, 0.999)
+		}
+		pen := penalty(p[0], 1e-4, 1-1e-4) + penalty(p[1], 1e-4, 1-1e-4)
+		if m.Damped {
+			pen += penalty(p[2], 0.8, 0.999)
+		}
+		return holtSSE(s.Values, alpha, beta, phi, nil, nil) * (1 + pen)
+	}
+	x0 := []float64{0.5, 0.1}
+	if m.Damped {
+		x0 = append(x0, 0.95)
+	}
+	res := optimize.NelderMead(obj, x0, optimize.NelderMeadOptions{})
+	m.Alpha = clamp01(res.X[0], 1e-4, 1-1e-4)
+	m.Beta = clamp01(res.X[1], 1e-4, 1-1e-4)
+	m.Phi = 1
+	if m.Damped {
+		m.Phi = clamp01(res.X[2], 0.8, 0.999)
+	}
+	finalSSE := holtSSE(s.Values, m.Alpha, m.Beta, m.Phi, &m.Level, &m.Trend)
+	m.ResidStd = math.Sqrt(finalSSE / float64(s.Len()-1))
+	m.IsFitted = true
+	return nil
+}
+
+// ResidualStd implements Uncertainty.
+func (m *Holt) ResidualStd() float64 { return m.ResidStd }
+
+// Forecast implements Model.
+func (m *Holt) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	phiSum := 0.0
+	phiPow := 1.0
+	for i := range out {
+		phiSum += phiPow
+		if m.Damped {
+			phiPow *= m.Phi
+		}
+		out[i] = m.Level + phiSum*m.Trend
+	}
+	if !m.Damped {
+		for i := range out {
+			out[i] = m.Level + float64(i+1)*m.Trend
+		}
+	}
+	return out
+}
+
+// Update implements Model.
+func (m *Holt) Update(x float64) {
+	fc := m.Level + m.Phi*m.Trend
+	newLevel := m.Alpha*x + (1-m.Alpha)*fc
+	m.Trend = m.Beta*(newLevel-m.Level) + (1-m.Beta)*m.Phi*m.Trend
+	m.Level = newLevel
+}
+
+// penalty returns a quadratic penalty for values outside [lo, hi], keeping
+// the unconstrained Nelder-Mead search inside the valid parameter box.
+func penalty(v, lo, hi float64) float64 {
+	switch {
+	case v < lo:
+		return (lo - v) * (lo - v) * 100
+	case v > hi:
+		return (v - hi) * (v - hi) * 100
+	default:
+		return 0
+	}
+}
+
+// SeasonMode selects the seasonal component form of Holt-Winters smoothing.
+type SeasonMode int
+
+const (
+	// Additive seasonality: x ≈ level + trend + season.
+	Additive SeasonMode = iota
+	// Multiplicative seasonality: x ≈ (level + trend) · season.
+	Multiplicative
+)
+
+// String returns "additive" or "multiplicative".
+func (s SeasonMode) String() string {
+	if s == Multiplicative {
+		return "multiplicative"
+	}
+	return "additive"
+}
+
+// HoltWinters is triple exponential smoothing — the model the paper's
+// evaluation uses for all data sets ("triple exponential smoothing worked
+// best in most cases", Section VI-A). Smoothing parameters Alpha, Beta and
+// Gamma are estimated by Nelder-Mead on the in-sample SSE.
+type HoltWinters struct {
+	Period             int
+	Mode               SeasonMode
+	Alpha, Beta, Gamma float64
+	Level, Trend       float64
+	Season             []float64 // seasonal state, index = time mod Period
+	T                  int       // observations consumed (for season index)
+	ResidStd           float64
+	IsFitted           bool
+}
+
+// NewHoltWinters returns an unfitted Holt-Winters model for the given
+// seasonal period. A period below 2 is invalid for this model; Fit will
+// fail with ErrTooShort semantics in that case.
+func NewHoltWinters(period int, mode SeasonMode) *HoltWinters {
+	return &HoltWinters{Period: period, Mode: mode}
+}
+
+// Name implements Model.
+func (m *HoltWinters) Name() string {
+	if m.Mode == Multiplicative {
+		return "hw-mult"
+	}
+	return "hw-add"
+}
+
+// NParams implements Model.
+func (m *HoltWinters) NParams() int { return 3 }
+
+// Fitted implements Model.
+func (m *HoltWinters) Fitted() bool { return m.IsFitted }
+
+// hwState carries the replayed smoothing state.
+type hwState struct {
+	level, trend float64
+	season       []float64
+	t            int
+}
+
+// hwReplay runs the Holt-Winters recurrence over values and returns the
+// in-sample SSE together with the final state.
+func (m *HoltWinters) hwReplay(values []float64, alpha, beta, gamma float64) (float64, hwState) {
+	p := m.Period
+	// Initialization over the first two seasons.
+	var mean1, mean2 float64
+	for i := 0; i < p; i++ {
+		mean1 += values[i]
+		mean2 += values[p+i]
+	}
+	mean1 /= float64(p)
+	mean2 /= float64(p)
+	level := mean1
+	trend := (mean2 - mean1) / float64(p)
+	season := make([]float64, p)
+	for i := 0; i < p; i++ {
+		if m.Mode == Multiplicative {
+			if mean1 != 0 {
+				season[i] = values[i] / mean1
+			} else {
+				season[i] = 1
+			}
+		} else {
+			season[i] = values[i] - mean1
+		}
+	}
+
+	var sse float64
+	for t := p; t < len(values); t++ {
+		si := t % p
+		x := values[t]
+		var fc float64
+		if m.Mode == Multiplicative {
+			fc = (level + trend) * season[si]
+		} else {
+			fc = level + trend + season[si]
+		}
+		e := x - fc
+		sse += e * e
+
+		prevLevel := level
+		if m.Mode == Multiplicative {
+			den := season[si]
+			if den == 0 {
+				den = 1e-9
+			}
+			level = alpha*(x/den) + (1-alpha)*(prevLevel+trend)
+			trend = beta*(level-prevLevel) + (1-beta)*trend
+			if level != 0 {
+				season[si] = gamma*(x/level) + (1-gamma)*season[si]
+			}
+		} else {
+			level = alpha*(x-season[si]) + (1-alpha)*(prevLevel+trend)
+			trend = beta*(level-prevLevel) + (1-beta)*trend
+			season[si] = gamma*(x-level) + (1-gamma)*season[si]
+		}
+	}
+	return sse, hwState{level: level, trend: trend, season: season, t: len(values)}
+}
+
+// Fit implements Model. It requires at least two full seasons of data.
+func (m *HoltWinters) Fit(s *timeseries.Series) error {
+	if m.Period < 2 || s.Len() < 2*m.Period+1 {
+		return ErrTooShort
+	}
+	if m.Mode == Multiplicative {
+		// Multiplicative seasonality requires strictly positive data.
+		for _, v := range s.Values {
+			if v <= 0 {
+				return ErrTooShort
+			}
+		}
+	}
+	obj := func(p []float64) float64 {
+		a := clamp01(p[0], 1e-4, 1-1e-4)
+		b := clamp01(p[1], 1e-4, 1-1e-4)
+		g := clamp01(p[2], 1e-4, 1-1e-4)
+		pen := penalty(p[0], 1e-4, 1-1e-4) + penalty(p[1], 1e-4, 1-1e-4) + penalty(p[2], 1e-4, 1-1e-4)
+		sse, _ := m.hwReplay(s.Values, a, b, g)
+		return sse * (1 + pen)
+	}
+	res := optimize.NelderMead(obj, []float64{0.3, 0.05, 0.1}, optimize.NelderMeadOptions{})
+	m.Alpha = clamp01(res.X[0], 1e-4, 1-1e-4)
+	m.Beta = clamp01(res.X[1], 1e-4, 1-1e-4)
+	m.Gamma = clamp01(res.X[2], 1e-4, 1-1e-4)
+	finalSSE, st := m.hwReplay(s.Values, m.Alpha, m.Beta, m.Gamma)
+	m.Level, m.Trend, m.Season, m.T = st.level, st.trend, st.season, st.t
+	if n := s.Len() - m.Period; n > 0 {
+		m.ResidStd = math.Sqrt(finalSSE / float64(n))
+	}
+	m.IsFitted = true
+	return nil
+}
+
+// ResidualStd implements Uncertainty.
+func (m *HoltWinters) ResidualStd() float64 { return m.ResidStd }
+
+// Forecast implements Model.
+func (m *HoltWinters) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	for i := 1; i <= h; i++ {
+		si := (m.T + i - 1) % m.Period
+		if m.Mode == Multiplicative {
+			out[i-1] = (m.Level + float64(i)*m.Trend) * m.Season[si]
+		} else {
+			out[i-1] = m.Level + float64(i)*m.Trend + m.Season[si]
+		}
+	}
+	return out
+}
+
+// Update implements Model.
+func (m *HoltWinters) Update(x float64) {
+	si := m.T % m.Period
+	prevLevel := m.Level
+	if m.Mode == Multiplicative {
+		den := m.Season[si]
+		if den == 0 {
+			den = 1e-9
+		}
+		m.Level = m.Alpha*(x/den) + (1-m.Alpha)*(prevLevel+m.Trend)
+		m.Trend = m.Beta*(m.Level-prevLevel) + (1-m.Beta)*m.Trend
+		if m.Level != 0 {
+			m.Season[si] = m.Gamma*(x/m.Level) + (1-m.Gamma)*m.Season[si]
+		}
+	} else {
+		m.Level = m.Alpha*(x-m.Season[si]) + (1-m.Alpha)*(prevLevel+m.Trend)
+		m.Trend = m.Beta*(m.Level-prevLevel) + (1-m.Beta)*m.Trend
+		m.Season[si] = m.Gamma*(x-m.Level) + (1-m.Gamma)*m.Season[si]
+	}
+	m.T++
+}

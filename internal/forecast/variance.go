@@ -1,0 +1,172 @@
+package forecast
+
+import "math"
+
+// HorizonVariance is implemented by models that know how their forecast
+// variance grows with the horizon. VarianceScale(h) returns the factor by
+// which the one-step residual standard deviation is multiplied at horizon
+// h >= 1 (so VarianceScale(1) == 1 for exact implementations). Models
+// without the interface get a √h random-walk approximation.
+type HorizonVariance interface {
+	VarianceScale(h int) float64
+}
+
+// VarianceScaleOf returns the model's horizon scale, falling back to the
+// √h approximation.
+func VarianceScaleOf(m Model, h int) float64 {
+	if h < 1 {
+		h = 1
+	}
+	if hv, ok := m.(HorizonVariance); ok {
+		return hv.VarianceScale(h)
+	}
+	return math.Sqrt(float64(h))
+}
+
+// VarianceScale implements HorizonVariance for the random-walk forecast:
+// Var(h) = σ²·h.
+func (m *Naive) VarianceScale(h int) float64 { return math.Sqrt(float64(h)) }
+
+// VarianceScale implements HorizonVariance: each season repeats the
+// random-walk step once per period: Var(h) = σ²·(⌊(h-1)/m⌋ + 1).
+func (m *SeasonalNaive) VarianceScale(h int) float64 {
+	p := m.Period
+	if p < 1 {
+		p = 1
+	}
+	return math.Sqrt(float64((h-1)/p + 1))
+}
+
+// VarianceScale implements HorizonVariance for the drift forecast:
+// Var(h) = σ²·h·(1 + h/(n-1)).
+func (m *Drift) VarianceScale(h int) float64 {
+	n := m.N
+	if n < 2 {
+		n = 2
+	}
+	return math.Sqrt(float64(h) * (1 + float64(h)/float64(n-1)))
+}
+
+// VarianceScale implements HorizonVariance for the mean forecast, whose
+// variance is horizon independent.
+func (m *MeanModel) VarianceScale(int) float64 { return 1 }
+
+// VarianceScale implements HorizonVariance for simple exponential
+// smoothing (class-1 state-space result): Var(h) = σ²·(1 + (h-1)·α²).
+func (m *SES) VarianceScale(h int) float64 {
+	return math.Sqrt(1 + float64(h-1)*m.Alpha*m.Alpha)
+}
+
+// VarianceScale implements HorizonVariance for Holt's linear (and damped)
+// trend method: Var(h) = σ²·(1 + Σ_{j=1}^{h-1} c_j²) with
+// c_j = α·(1 + β·φ_j) where φ_j is j for the undamped and the damped-sum
+// φ(1-φ^j)/(1-φ) for the damped variant.
+func (m *Holt) VarianceScale(h int) float64 {
+	acc := 1.0
+	for j := 1; j < h; j++ {
+		var phiJ float64
+		if m.Damped && m.Phi < 1 {
+			phiJ = m.Phi * (1 - math.Pow(m.Phi, float64(j))) / (1 - m.Phi)
+		} else {
+			phiJ = float64(j)
+		}
+		c := m.Alpha * (1 + m.Beta*phiJ)
+		acc += c * c
+	}
+	return math.Sqrt(acc)
+}
+
+// VarianceScale implements HorizonVariance for additive Holt-Winters
+// (class-1 result): c_j = α·(1 + j·β) + γ·1[j ≡ 0 (mod m)]. The
+// multiplicative variant has no closed form and reuses the additive
+// expression as an approximation.
+func (m *HoltWinters) VarianceScale(h int) float64 {
+	p := m.Period
+	if p < 1 {
+		p = 1
+	}
+	acc := 1.0
+	for j := 1; j < h; j++ {
+		c := m.Alpha * (1 + float64(j)*m.Beta)
+		if j%p == 0 {
+			c += m.Gamma
+		}
+		acc += c * c
+	}
+	return math.Sqrt(acc)
+}
+
+// VarianceScale implements HorizonVariance for ARIMA via ψ weights:
+// Var(h) = σ²·Σ_{j=0}^{h-1} ψ_j², with the ψ recursion applied to the
+// combined AR × differencing polynomial and the combined MA polynomial.
+func (m *ARIMA) VarianceScale(h int) float64 {
+	psi := m.psiWeights(h)
+	var acc float64
+	for _, p := range psi {
+		acc += p * p
+	}
+	return math.Sqrt(acc)
+}
+
+// psiWeights computes the first h ψ weights of the fitted model, including
+// the integration polynomials (1-B)^d (1-B^m)^D on the AR side.
+func (m *ARIMA) psiWeights(h int) []float64 {
+	// Combined AR polynomial coefficients in "1 - Σ a_i B^i" form.
+	ar := expandPoly(m.Phi, m.SPhi, m.Period)
+	// Multiply in the differencing polynomials.
+	for i := 0; i < m.Ord.D; i++ {
+		ar = mulDiffPoly(ar, 1)
+	}
+	for i := 0; i < m.SOrd.D; i++ {
+		ar = mulDiffPoly(ar, m.Period)
+	}
+	ma := expandNegPoly(m.Theta, m.STheta, m.Period)
+
+	psi := make([]float64, h)
+	if h == 0 {
+		return psi
+	}
+	psi[0] = 1
+	for j := 1; j < h; j++ {
+		var v float64
+		if j-1 < len(ma) {
+			v = ma[j-1]
+		}
+		for i := 0; i < len(ar) && i < j; i++ {
+			v += ar[i] * psi[j-1-i]
+		}
+		psi[j] = v
+	}
+	return psi
+}
+
+// mulDiffPoly multiplies the AR-side polynomial (given as coefficients a_i
+// of 1 - Σ a_i B^i) by the differencing polynomial (1 - B^lag), returning
+// the same representation.
+func mulDiffPoly(a []float64, lag int) []float64 {
+	// Full representation with lag-0 term.
+	full := make([]float64, len(a)+1)
+	full[0] = 1
+	for i, c := range a {
+		full[i+1] = -c
+	}
+	out := make([]float64, len(full)+lag)
+	for i, c := range full {
+		out[i] += c
+		out[i+lag] -= c
+	}
+	res := make([]float64, len(out)-1)
+	for i := 1; i < len(out); i++ {
+		res[i-1] = -out[i]
+	}
+	return res
+}
+
+// VarianceScale implements HorizonVariance by delegating to the chosen
+// model.
+func (m *Auto) VarianceScale(h int) float64 {
+	if m.Chosen == nil {
+		return math.Sqrt(float64(h))
+	}
+	return VarianceScaleOf(m.Chosen, h)
+}

@@ -1,0 +1,141 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+
+	"cubefc/internal/timeseries"
+)
+
+func TestNaiveVarianceScale(t *testing.T) {
+	m := NewNaive()
+	if got := m.VarianceScale(4); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("naive scale(4) = %v, want 2 (sqrt(4))", got)
+	}
+}
+
+func TestSeasonalNaiveVarianceScale(t *testing.T) {
+	m := NewSeasonalNaive(4)
+	// Horizons 1..4 repeat once, 5..8 twice.
+	if m.VarianceScale(4) != 1 {
+		t.Fatalf("scale(4) = %v, want 1", m.VarianceScale(4))
+	}
+	if math.Abs(m.VarianceScale(5)-math.Sqrt2) > 1e-12 {
+		t.Fatalf("scale(5) = %v, want sqrt(2)", m.VarianceScale(5))
+	}
+}
+
+func TestSESVarianceScale(t *testing.T) {
+	m := &SES{Alpha: 0.5}
+	// Var(3) = 1 + 2·0.25 = 1.5.
+	if got := m.VarianceScale(3); math.Abs(got-math.Sqrt(1.5)) > 1e-12 {
+		t.Fatalf("SES scale(3) = %v", got)
+	}
+	if m.VarianceScale(1) != 1 {
+		t.Fatal("scale(1) must be 1")
+	}
+	// α → 0: forecasts barely move, variance nearly flat.
+	flat := &SES{Alpha: 0.01}
+	if flat.VarianceScale(100) > 1.1 {
+		t.Fatalf("low-alpha SES should have nearly flat variance, got %v", flat.VarianceScale(100))
+	}
+}
+
+func TestHoltVarianceScaleGrowsFasterThanSES(t *testing.T) {
+	ses := &SES{Alpha: 0.4}
+	holt := &Holt{Alpha: 0.4, Beta: 0.3}
+	if holt.VarianceScale(10) <= ses.VarianceScale(10) {
+		t.Fatal("trend uncertainty must widen intervals beyond SES")
+	}
+}
+
+func TestHoltDampedVarianceBelowUndamped(t *testing.T) {
+	und := &Holt{Alpha: 0.4, Beta: 0.3, Phi: 1}
+	dam := &Holt{Alpha: 0.4, Beta: 0.3, Phi: 0.9, Damped: true}
+	if dam.VarianceScale(20) >= und.VarianceScale(20) {
+		t.Fatal("damped trend must have narrower long-horizon intervals")
+	}
+}
+
+func TestHoltWintersVarianceSeasonBump(t *testing.T) {
+	m := &HoltWinters{Period: 4, Alpha: 0.3, Beta: 0.1, Gamma: 0.2}
+	// The seasonal term adds γ at multiples of the period, so the scale
+	// must strictly increase across a period boundary.
+	if m.VarianceScale(5) <= m.VarianceScale(4) {
+		t.Fatal("variance must grow across the seasonal lag")
+	}
+}
+
+func TestARIMAPsiWeightsAR1(t *testing.T) {
+	// AR(1): ψ_j = φ^j.
+	m := &ARIMA{Ord: Order{P: 1}, Period: 1, Phi: []float64{0.6}}
+	psi := m.psiWeights(5)
+	for j, want := range []float64{1, 0.6, 0.36, 0.216, 0.1296} {
+		if math.Abs(psi[j]-want) > 1e-12 {
+			t.Fatalf("psi[%d] = %v, want %v", j, psi[j], want)
+		}
+	}
+}
+
+func TestARIMAPsiWeightsMA1(t *testing.T) {
+	// MA(1): ψ_0 = 1, ψ_1 = θ, ψ_j = 0 beyond.
+	m := &ARIMA{Ord: Order{Q: 1}, Period: 1, Theta: []float64{0.4}}
+	psi := m.psiWeights(4)
+	want := []float64{1, 0.4, 0, 0}
+	for j := range want {
+		if math.Abs(psi[j]-want[j]) > 1e-12 {
+			t.Fatalf("psi = %v, want %v", psi, want)
+		}
+	}
+}
+
+func TestARIMARandomWalkVariance(t *testing.T) {
+	// ARIMA(0,1,0): ψ_j = 1 for all j → Var(h) = σ²·h, like naive.
+	m := &ARIMA{Ord: Order{D: 1}, Period: 1}
+	if got := m.VarianceScale(9); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("random-walk scale(9) = %v, want 3", got)
+	}
+}
+
+func TestMulDiffPoly(t *testing.T) {
+	// (1 - 0.5B)(1 - B) = 1 - 1.5B + 0.5B² → a = [1.5, -0.5].
+	got := mulDiffPoly([]float64{0.5}, 1)
+	want := []float64{1.5, -0.5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("mulDiffPoly = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVarianceScaleOfFallback(t *testing.T) {
+	// A model without the interface gets sqrt(h).
+	var m Model = &failsVariance{}
+	if got := VarianceScaleOf(m, 9); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("fallback scale = %v, want 3", got)
+	}
+	if got := VarianceScaleOf(m, 0); got != 1 {
+		t.Fatalf("h<1 must clamp to 1, got %v", got)
+	}
+}
+
+// failsVariance implements Model but not HorizonVariance.
+type failsVariance struct{}
+
+func (f *failsVariance) Name() string                 { return "x" }
+func (f *failsVariance) Fit(*timeseries.Series) error { return nil }
+func (f *failsVariance) Forecast(h int) []float64     { return make([]float64, h) }
+func (f *failsVariance) Update(float64)               {}
+func (f *failsVariance) NParams() int                 { return 0 }
+func (f *failsVariance) Fitted() bool                 { return true }
+
+func TestAutoVarianceDelegates(t *testing.T) {
+	a := &Auto{Chosen: &SES{Alpha: 0.5}}
+	if a.VarianceScale(3) != (&SES{Alpha: 0.5}).VarianceScale(3) {
+		t.Fatal("auto must delegate variance scale")
+	}
+	empty := &Auto{}
+	if math.Abs(empty.VarianceScale(4)-2) > 1e-12 {
+		t.Fatal("unfitted auto falls back to sqrt(h)")
+	}
+}

@@ -1,0 +1,544 @@
+// Package hierarchical implements the comparison approaches of Section
+// VI-B: the data-independent schemes from the hierarchical-forecasting
+// literature (Direct, Bottom-Up, Top-Down) and the empirical ones (Combine
+// — the optimal-reconciliation framework of Hyndman et al. — and the
+// Greedy model selection of Fischer et al.). Every approach produces a
+// core.Configuration so all are evaluated with the same machinery.
+package hierarchical
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"cubefc/internal/core"
+	"cubefc/internal/cube"
+	"cubefc/internal/derivation"
+	"cubefc/internal/forecast"
+	"cubefc/internal/linalg"
+	"cubefc/internal/timeseries"
+)
+
+// Options parameterizes the baseline builders.
+type Options struct {
+	// ModelFactory creates the per-node models (default: the same
+	// triple-exponential-smoothing default the advisor uses).
+	ModelFactory forecast.Factory
+	// TrainRatio splits each series into training and evaluation parts
+	// (default 0.8).
+	TrainRatio float64
+	// CreationDelay adds an artificial per-model fitting delay
+	// (Fig. 8c).
+	CreationDelay time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.ModelFactory == nil {
+		o.ModelFactory = core.DefaultModelFactory
+	}
+	if o.TrainRatio <= 0 || o.TrainRatio >= 1 {
+		o.TrainRatio = 0.8
+	}
+	return o
+}
+
+func trainLen(g *cube.Graph, ratio float64) int {
+	tl := int(math.Round(ratio * float64(g.Length)))
+	if tl >= g.Length {
+		tl = g.Length - 1
+	}
+	if tl < 1 {
+		tl = 1
+	}
+	return tl
+}
+
+// fitNode fits a model with fallback to simpler families on short series.
+func fitNode(cfg *core.Configuration, factory forecast.Factory, id int, delay time.Duration) (forecast.Model, time.Duration, error) {
+	m, d, err := cfg.FitModel(factory, id, delay)
+	if err == nil {
+		return m, d, nil
+	}
+	for _, fb := range []forecast.Factory{
+		func(p int) forecast.Model { return forecast.NewHolt(false) },
+		func(p int) forecast.Model { return forecast.NewSES() },
+		func(p int) forecast.Model { return forecast.NewNaive() },
+	} {
+		var m2 forecast.Model
+		var d2 time.Duration
+		m2, d2, err = cfg.FitModel(fb, id, 0)
+		if err == nil {
+			return m2, d + d2, nil
+		}
+		d += d2
+	}
+	return nil, 0, fmt.Errorf("hierarchical: cannot fit node %d: %w", id, err)
+}
+
+// installModel fits and stores a model at the node, returning its
+// test-horizon forecast.
+func installModel(cfg *core.Configuration, factory forecast.Factory, id int, delay time.Duration) ([]float64, error) {
+	m, d, err := fitNode(cfg, factory, id, delay)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Models[id] = m
+	cfg.ModelSeconds[id] = d.Seconds()
+	cfg.CostSeconds += d.Seconds()
+	return m.Forecast(cfg.TestLen()), nil
+}
+
+// setNodeError assigns scheme and test error for a node given its derived
+// forecast.
+func setNodeError(cfg *core.Configuration, sc derivation.Scheme, fc []float64) {
+	e := timeseries.SMAPE(cfg.Graph.Nodes[sc.Target].Series.Values[cfg.TrainLen:], fc)
+	if math.IsNaN(e) {
+		e = 1
+	}
+	if e > 1 {
+		e = 1
+	}
+	cfg.Schemes[sc.Target] = sc
+	cfg.Errors[sc.Target] = e
+}
+
+// Direct creates a model for every node and uses it directly (Figure 3a) —
+// the naive approach with maximum model costs.
+func Direct(g *cube.Graph, opts Options) (*core.Configuration, error) {
+	opts = opts.withDefaults()
+	cfg := core.NewConfiguration(g, trainLen(g, opts.TrainRatio))
+	for id := range g.Nodes {
+		fc, err := installModel(cfg, opts.ModelFactory, id, opts.CreationDelay)
+		if err != nil {
+			return nil, err
+		}
+		setNodeError(cfg, derivation.DirectScheme(id), fc)
+	}
+	return cfg, nil
+}
+
+// BottomUp creates models only for base time series and answers every
+// aggregated node by summing base forecasts — "arguably the most commonly
+// applied method in forecasting literature".
+func BottomUp(g *cube.Graph, opts Options) (*core.Configuration, error) {
+	opts = opts.withDefaults()
+	cfg := core.NewConfiguration(g, trainLen(g, opts.TrainRatio))
+	baseFc := make(map[int][]float64, len(g.BaseIDs))
+	for _, id := range g.BaseIDs {
+		fc, err := installModel(cfg, opts.ModelFactory, id, opts.CreationDelay)
+		if err != nil {
+			return nil, err
+		}
+		baseFc[id] = fc
+		setNodeError(cfg, derivation.DirectScheme(id), fc)
+	}
+	h := cfg.TestLen()
+	incidence := g.BaseIncidence()
+	for id, n := range g.Nodes {
+		if n.IsBase {
+			continue
+		}
+		bases := incidence[id]
+		fc := make([]float64, h)
+		for _, b := range bases {
+			for i, v := range baseFc[b] {
+				fc[i] += v
+			}
+		}
+		sc := derivation.Scheme{Target: id, Sources: bases, K: 1, Kind: derivation.Aggregation}
+		setNodeError(cfg, sc, fc)
+	}
+	return cfg, nil
+}
+
+// TopDown creates a single model at the top node and distributes its
+// forecasts down the graph using the historical proportions of the data —
+// the Gross/Sohl variant based on proportions of historical averages that
+// the paper reports as performing best.
+func TopDown(g *cube.Graph, opts Options) (*core.Configuration, error) {
+	opts = opts.withDefaults()
+	cfg := core.NewConfiguration(g, trainLen(g, opts.TrainRatio))
+	top := g.TopID
+	topFc, err := installModel(cfg, opts.ModelFactory, top, opts.CreationDelay)
+	if err != nil {
+		return nil, err
+	}
+	setNodeError(cfg, derivation.DirectScheme(top), topFc)
+	for id := range g.Nodes {
+		if id == top {
+			continue
+		}
+		sc, err := derivation.NewScheme(g, id, []int{top}, cfg.TrainLen)
+		if err != nil {
+			// Zero-history node: fall back to a zero share.
+			sc = derivation.Scheme{Target: id, Sources: []int{top}, K: 0, Kind: derivation.Disaggregation}
+		}
+		sc.Kind = derivation.Disaggregation
+		fc, aerr := sc.Apply([][]float64{topFc})
+		if aerr != nil {
+			return nil, aerr
+		}
+		setNodeError(cfg, sc, fc)
+	}
+	return cfg, nil
+}
+
+// Combine implements the optimal hierarchical combination of Hyndman et
+// al.: every node gets a model, and all forecasts are reconciled through
+// the summing matrix S by ordinary least squares — the reconciled base
+// forecasts are β̂ = (SᵀS)⁻¹Sᵀŷ and every node is answered by Sβ̂. Model
+// costs are maximal, and the regression grows with the number of base
+// series (the paper could not run it on Gen10k within a day).
+func Combine(g *cube.Graph, opts Options) (*core.Configuration, error) {
+	opts = opts.withDefaults()
+	cfg := core.NewConfiguration(g, trainLen(g, opts.TrainRatio))
+	h := cfg.TestLen()
+	nodes := g.NumNodes()
+	nb := len(g.BaseIDs)
+
+	// All-nodes forecasts ŷ (rows: nodes) and the summing matrix S.
+	yhat := make([][]float64, nodes)
+	s := linalg.NewMatrix(nodes, nb)
+	basePos := make(map[int]int, nb)
+	for j, b := range g.BaseIDs {
+		basePos[b] = j
+	}
+	incidence := g.BaseIncidence()
+	for id := range g.Nodes {
+		fc, err := installModel(cfg, opts.ModelFactory, id, opts.CreationDelay)
+		if err != nil {
+			return nil, err
+		}
+		yhat[id] = fc
+		for _, b := range incidence[id] {
+			s.Set(id, basePos[b], 1)
+		}
+	}
+
+	// Solve the OLS reconciliation once per forecast step: β̂ minimizes
+	// ||S·β − ŷ_step||₂. The QR factorization of S is reused across steps.
+	qr, err := linalg.NewQR(s)
+	if err != nil {
+		return nil, fmt.Errorf("hierarchical: combine: %w", err)
+	}
+	reconciled := make([][]float64, nodes)
+	for id := range reconciled {
+		reconciled[id] = make([]float64, h)
+	}
+	rhs := make([]float64, nodes)
+	for step := 0; step < h; step++ {
+		for id := 0; id < nodes; id++ {
+			rhs[id] = yhat[id][step]
+		}
+		beta, err := qr.Solve(rhs)
+		if err != nil {
+			return nil, fmt.Errorf("hierarchical: combine solve: %w", err)
+		}
+		rec, err := s.MulVec(beta)
+		if err != nil {
+			return nil, err
+		}
+		for id := 0; id < nodes; id++ {
+			reconciled[id][step] = rec[id]
+		}
+	}
+	for id, n := range g.Nodes {
+		sc := derivation.Scheme{Target: id, Sources: incidence[id], K: 1, Kind: derivation.General}
+		if n.IsBase {
+			sc = derivation.DirectScheme(id)
+		}
+		setNodeError(cfg, sc, reconciled[id])
+	}
+	return cfg, nil
+}
+
+// Greedy implements the empirical selection of Fischer et al. (BTW 2011):
+// it first builds models for all nodes, then — starting from an empty
+// configuration — repeatedly adds the model with the highest accuracy
+// benefit, considering the traditional derivation schemes (direct,
+// aggregation, disaggregation), until no model improves the overall error.
+// Unused models are dropped from the final configuration (they were only
+// built for evaluation), but their creation time is charged, which is why
+// the approach scales poorly (Figure 9a).
+func Greedy(g *cube.Graph, opts Options) (*core.Configuration, error) {
+	opts = opts.withDefaults()
+	cfg := core.NewConfiguration(g, trainLen(g, opts.TrainRatio))
+	nodes := g.NumNodes()
+	h := cfg.TestLen()
+
+	// Build every model up front (the defining cost of the approach).
+	fcByNode := make([][]float64, nodes)
+	models := make([]forecast.Model, nodes)
+	seconds := make([]float64, nodes)
+	var totalSeconds float64
+	for id := range g.Nodes {
+		m, d, err := fitNode(cfg, opts.ModelFactory, id, opts.CreationDelay)
+		if err != nil {
+			return nil, err
+		}
+		models[id] = m
+		seconds[id] = d.Seconds()
+		totalSeconds += d.Seconds()
+		fcByNode[id] = m.Forecast(h)
+	}
+
+	desc := descendants(g)
+
+	// candidateErr evaluates, for a model at s, the error it would give
+	// target t under the traditional schemes.
+	testVals := func(t int) []float64 {
+		return g.Nodes[t].Series.Values[cfg.TrainLen:]
+	}
+	evalScheme := func(t int, sources []int) (derivation.Scheme, float64, bool) {
+		sc, err := derivation.NewScheme(g, t, sources, cfg.TrainLen)
+		if err != nil {
+			return derivation.Scheme{}, 0, false
+		}
+		fc := make([]float64, h)
+		for _, s := range sources {
+			for i, v := range fcByNode[s] {
+				fc[i] += v
+			}
+		}
+		for i := range fc {
+			fc[i] *= sc.K
+		}
+		e := timeseries.SMAPE(testVals(t), fc)
+		if math.IsNaN(e) {
+			return derivation.Scheme{}, 0, false
+		}
+		if e > 1 {
+			e = 1
+		}
+		return sc, e, true
+	}
+
+	curErr := func(t int) float64 {
+		if e, ok := cfg.Errors[t]; ok {
+			return e
+		}
+		return 1
+	}
+
+	selected := make(map[int]bool, nodes)
+	for {
+		bestGain := 0.0
+		bestID := -1
+		for s := 0; s < nodes; s++ {
+			if selected[s] {
+				continue
+			}
+			gain := 0.0
+			// Direct benefit at the node itself.
+			if e := timeseries.SMAPE(testVals(s), fcByNode[s]); !math.IsNaN(e) && e < curErr(s) {
+				gain += curErr(s) - math.Min(e, 1)
+			}
+			// Disaggregation benefit for all nodes covered by s.
+			for _, t := range desc[s] {
+				if _, e, ok := evalScheme(t, []int{s}); ok && e < curErr(t) {
+					gain += curErr(t) - e
+				}
+			}
+			// Aggregation benefit for parents whose child edge would be
+			// completed by s.
+			for d, pid := range g.Nodes[s].ParentIDs {
+				if pid < 0 {
+					continue
+				}
+				edge := g.Nodes[pid].ChildEdges[d]
+				complete := true
+				for _, c := range edge {
+					if c != s && !selected[c] {
+						complete = false
+						break
+					}
+				}
+				if !complete {
+					continue
+				}
+				if _, e, ok := evalScheme(pid, edge); ok && e < curErr(pid) {
+					gain += curErr(pid) - e
+				}
+			}
+			if gain > bestGain {
+				bestGain = gain
+				bestID = s
+			}
+		}
+		if bestID < 0 || bestGain <= 1e-12 {
+			break
+		}
+		// Apply the best model: install it and all improving schemes.
+		s := bestID
+		selected[s] = true
+		cfg.Models[s] = models[s]
+		cfg.ModelSeconds[s] = seconds[s]
+		if e := timeseries.SMAPE(testVals(s), fcByNode[s]); !math.IsNaN(e) && math.Min(e, 1) < curErr(s) {
+			cfg.Schemes[s] = derivation.DirectScheme(s)
+			cfg.Errors[s] = math.Min(e, 1)
+		} else if _, ok := cfg.Schemes[s]; !ok {
+			cfg.Schemes[s] = derivation.DirectScheme(s)
+			cfg.Errors[s] = clamp01Err(timeseries.SMAPE(testVals(s), fcByNode[s]))
+		}
+		for _, t := range desc[s] {
+			if sc, e, ok := evalScheme(t, []int{s}); ok && e < curErr(t) {
+				sc.Kind = derivation.Disaggregation
+				cfg.Schemes[t] = sc
+				cfg.Errors[t] = e
+			}
+		}
+		for d, pid := range g.Nodes[s].ParentIDs {
+			if pid < 0 {
+				continue
+			}
+			edge := g.Nodes[pid].ChildEdges[d]
+			complete := true
+			for _, c := range edge {
+				if !selected[c] {
+					complete = false
+					break
+				}
+			}
+			if !complete {
+				continue
+			}
+			if sc, e, ok := evalScheme(pid, edge); ok && e < curErr(pid) {
+				sc.Kind = derivation.Aggregation
+				cfg.Schemes[pid] = sc
+				cfg.Errors[pid] = e
+			}
+		}
+	}
+	// All models were created; the configuration keeps only the selected
+	// ones but the total creation cost was paid.
+	cfg.CostSeconds = totalSeconds
+	return cfg, nil
+}
+
+// descendants precomputes, for every node, the strict descendants (nodes
+// whose series contribute to it — the disaggregation targets of a model at
+// that node). Built once by walking each node's ancestor closure, which is
+// linear in the total number of (node, ancestor) pairs.
+func descendants(g *cube.Graph) [][]int {
+	out := make([][]int, g.NumNodes())
+	for id := range g.Nodes {
+		seen := map[int]bool{id: true}
+		queue := []int{id}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, p := range g.Nodes[cur].ParentIDs {
+				if p < 0 || seen[p] {
+					continue
+				}
+				seen[p] = true
+				out[p] = append(out[p], id)
+				queue = append(queue, p)
+			}
+		}
+	}
+	for _, d := range out {
+		sort.Ints(d)
+	}
+	return out
+}
+
+func clamp01Err(e float64) float64 {
+	if math.IsNaN(e) {
+		return 1
+	}
+	if e < 0 {
+		return 0
+	}
+	if e > 1 {
+		return 1
+	}
+	return e
+}
+
+// CombineWLS is a weighted variant of Combine implementing the MinT-WLS
+// reconciliation of Hyndman et al.'s later work (a documented extension
+// beyond the paper): base-forecast residual variances weight the
+// least-squares reconciliation, so noisy nodes influence the reconciled
+// forecasts less:
+//
+//	β̂ = argmin (ŷ − S·β)ᵀ W⁻¹ (ŷ − S·β),  W = diag(σ̂²)
+//
+// computed by rescaling each row of S and ŷ by 1/σ̂ and solving the
+// ordinary least-squares problem.
+func CombineWLS(g *cube.Graph, opts Options) (*core.Configuration, error) {
+	opts = opts.withDefaults()
+	cfg := core.NewConfiguration(g, trainLen(g, opts.TrainRatio))
+	h := cfg.TestLen()
+	nodes := g.NumNodes()
+	nb := len(g.BaseIDs)
+
+	yhat := make([][]float64, nodes)
+	sigma := make([]float64, nodes)
+	s := linalg.NewMatrix(nodes, nb)
+	basePos := make(map[int]int, nb)
+	for j, b := range g.BaseIDs {
+		basePos[b] = j
+	}
+	incidence := g.BaseIncidence()
+	for id := range g.Nodes {
+		m, d, err := fitNode(cfg, opts.ModelFactory, id, opts.CreationDelay)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Models[id] = m
+		cfg.ModelSeconds[id] = d.Seconds()
+		cfg.CostSeconds += d.Seconds()
+		yhat[id] = m.Forecast(h)
+		sigma[id] = 1
+		if u, ok := m.(forecast.Uncertainty); ok && u.ResidualStd() > 0 {
+			sigma[id] = u.ResidualStd()
+		}
+		for _, b := range incidence[id] {
+			s.Set(id, basePos[b], 1)
+		}
+	}
+
+	// Row-scale S by 1/σ once; the same scaling applies to every step's
+	// right-hand side.
+	ws := s.Clone()
+	for i := 0; i < nodes; i++ {
+		for j := 0; j < nb; j++ {
+			ws.Set(i, j, ws.At(i, j)/sigma[i])
+		}
+	}
+	qr, err := linalg.NewQR(ws)
+	if err != nil {
+		return nil, fmt.Errorf("hierarchical: combine-wls: %w", err)
+	}
+	reconciled := make([][]float64, nodes)
+	for id := range reconciled {
+		reconciled[id] = make([]float64, h)
+	}
+	rhs := make([]float64, nodes)
+	for step := 0; step < h; step++ {
+		for id := 0; id < nodes; id++ {
+			rhs[id] = yhat[id][step] / sigma[id]
+		}
+		beta, err := qr.Solve(rhs)
+		if err != nil {
+			return nil, fmt.Errorf("hierarchical: combine-wls solve: %w", err)
+		}
+		rec, err := s.MulVec(beta)
+		if err != nil {
+			return nil, err
+		}
+		for id := 0; id < nodes; id++ {
+			reconciled[id][step] = rec[id]
+		}
+	}
+	for id, n := range g.Nodes {
+		sc := derivation.Scheme{Target: id, Sources: incidence[id], K: 1, Kind: derivation.General}
+		if n.IsBase {
+			sc = derivation.DirectScheme(id)
+		}
+		setNodeError(cfg, sc, reconciled[id])
+	}
+	return cfg, nil
+}

@@ -1,0 +1,282 @@
+// Package linalg provides the small dense linear-algebra kernel needed by
+// the Combine (optimal reconciliation) baseline of Hyndman et al., which the
+// paper evaluates against in Section VI-B. It implements dense matrices,
+// Householder QR, least-squares solves and Cholesky factorization using only
+// the standard library.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row major
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices; all rows must have equal length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	c := len(rows[0])
+	m := NewMatrix(len(rows), c)
+	for i, r := range rows {
+		if len(r) != c {
+			return nil, fmt.Errorf("linalg: row %d has %d entries, want %d", i, len(r), c)
+		}
+		copy(m.Data[i*c:(i+1)*c], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	d := make([]float64, len(m.Data))
+	copy(d, m.Data)
+	return &Matrix{Rows: m.Rows, Cols: m.Cols, Data: d}
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m·b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.Cols != b.Rows {
+		return nil, fmt.Errorf("linalg: dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += mv * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m·x for a vector x of length m.Cols.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("linalg: MulVec dimension mismatch %dx%d · %d", m.Rows, m.Cols, len(x))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var acc float64
+		for j, v := range row {
+			acc += v * x[j]
+		}
+		out[i] = acc
+	}
+	return out, nil
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.4g", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ErrSingular is returned when a factorization meets an (numerically)
+// singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// QR holds a Householder QR factorization of an m×n matrix with m >= n.
+type QR struct {
+	qr   *Matrix   // packed Householder vectors + R
+	rd   []float64 // diagonal of R
+	m, n int
+}
+
+// NewQR computes the Householder QR factorization of a (copied, not
+// modified). Requires a.Rows >= a.Cols.
+func NewQR(a *Matrix) (*QR, error) {
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("linalg: QR requires rows >= cols, got %dx%d", a.Rows, a.Cols)
+	}
+	qr := a.Clone()
+	m, n := qr.Rows, qr.Cols
+	rd := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Norm of column k below the diagonal.
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm != 0 {
+			if qr.At(k, k) < 0 {
+				nrm = -nrm
+			}
+			for i := k; i < m; i++ {
+				qr.Set(i, k, qr.At(i, k)/nrm)
+			}
+			qr.Set(k, k, qr.At(k, k)+1)
+			for j := k + 1; j < n; j++ {
+				var s float64
+				for i := k; i < m; i++ {
+					s += qr.At(i, k) * qr.At(i, j)
+				}
+				s = -s / qr.At(k, k)
+				for i := k; i < m; i++ {
+					qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+				}
+			}
+		}
+		rd[k] = -nrm
+	}
+	return &QR{qr: qr, rd: rd, m: m, n: n}, nil
+}
+
+// Solve finds the least-squares solution x of A·x = b for the factorized A.
+func (q *QR) Solve(b []float64) ([]float64, error) {
+	if len(b) != q.m {
+		return nil, fmt.Errorf("linalg: QR.Solve rhs length %d, want %d", len(b), q.m)
+	}
+	for _, d := range q.rd {
+		if math.Abs(d) < 1e-12 {
+			return nil, ErrSingular
+		}
+	}
+	y := make([]float64, q.m)
+	copy(y, b)
+	// Apply Householder transforms to b.
+	for k := 0; k < q.n; k++ {
+		var s float64
+		for i := k; i < q.m; i++ {
+			s += q.qr.At(i, k) * y[i]
+		}
+		if q.qr.At(k, k) == 0 {
+			continue
+		}
+		s = -s / q.qr.At(k, k)
+		for i := k; i < q.m; i++ {
+			y[i] += s * q.qr.At(i, k)
+		}
+	}
+	// Back substitution with R.
+	x := make([]float64, q.n)
+	for k := q.n - 1; k >= 0; k-- {
+		acc := y[k]
+		for j := k + 1; j < q.n; j++ {
+			acc -= q.qr.At(k, j) * x[j]
+		}
+		x[k] = acc / q.rd[k]
+	}
+	return x, nil
+}
+
+// SolveLeastSquares returns the minimizer of ||A·x - b||₂.
+func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	qr, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return qr.Solve(b)
+}
+
+// Cholesky computes the lower-triangular L with A = L·Lᵀ for a symmetric
+// positive-definite A.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k < j; k++ {
+				s += l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				d := a.At(i, i) - s
+				if d <= 0 {
+					return nil, ErrSingular
+				}
+				l.Set(i, i, math.Sqrt(d))
+			} else {
+				l.Set(i, j, (a.At(i, j)-s)/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A·x = b given the Cholesky factor L of A.
+func SolveCholesky(l *Matrix, b []float64) ([]float64, error) {
+	n := l.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: SolveCholesky rhs length %d, want %d", len(b), n)
+	}
+	// Forward substitution L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		acc := b[i]
+		for k := 0; k < i; k++ {
+			acc -= l.At(i, k) * y[k]
+		}
+		y[i] = acc / l.At(i, i)
+	}
+	// Back substitution Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		acc := y[i]
+		for k := i + 1; k < n; k++ {
+			acc -= l.At(k, i) * x[k]
+		}
+		x[i] = acc / l.At(i, i)
+	}
+	return x, nil
+}

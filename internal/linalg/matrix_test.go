@@ -1,0 +1,239 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFromRowsAndAt(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("At = %v", m)
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged rows should fail")
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m, err := FromRows(nil)
+	if err != nil || m.Rows != 0 || m.Cols != 0 {
+		t.Fatalf("empty FromRows = %v, %v", m, err)
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	i := Identity(2)
+	p, err := a.Mul(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			if p.At(r, c) != a.At(r, c) {
+				t.Fatalf("A·I != A: %v", p)
+			}
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for r := range want {
+		for c := range want[r] {
+			if p.At(r, c) != want[r][c] {
+				t.Fatalf("Mul = %v, want %v", p, want)
+			}
+		}
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Fatal("2x3 · 2x3 should fail")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 {
+		t.Fatalf("T = %v", at)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	y, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MulVec = %v", y)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Fatal("MulVec with wrong length should fail")
+	}
+}
+
+func TestQRSolveSquare(t *testing.T) {
+	a, _ := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveLeastSquares(a, []float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=3, x+3y=5 → x=4/5, y=7/5
+	if math.Abs(x[0]-0.8) > 1e-10 || math.Abs(x[1]-1.4) > 1e-10 {
+		t.Fatalf("solve = %v", x)
+	}
+}
+
+func TestQRLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = a + b·t to noisy-free data: exact recovery.
+	rows := [][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}}
+	a, _ := FromRows(rows)
+	b := []float64{1, 3, 5, 7} // a=1, b=2
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-10 || math.Abs(x[1]-2) > 1e-10 {
+		t.Fatalf("least squares = %v, want [1 2]", x)
+	}
+}
+
+func TestQRSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLeastSquares(a, []float64{1, 2}); err == nil {
+		t.Fatal("singular matrix should fail")
+	}
+}
+
+func TestQRRequiresTallMatrix(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := NewQR(a); err == nil {
+		t.Fatal("QR of wide matrix should fail")
+	}
+}
+
+func TestQRSolveWrongRHS(t *testing.T) {
+	a := Identity(3)
+	qr, err := NewQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qr.Solve([]float64{1, 2}); err == nil {
+		t.Fatal("wrong rhs length should fail")
+	}
+}
+
+func TestQRRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Make it diagonally dominant (well conditioned).
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)*2)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b, _ := a.MulVec(want)
+		x, err := SolveLeastSquares(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(x[i]-want[i]) > 1e-8 {
+				t.Fatalf("trial %d: solve = %v, want %v", trial, x, want)
+			}
+		}
+	}
+}
+
+func TestCholeskySPD(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := l.T()
+	p, _ := l.Mul(lt)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(p.At(i, j)-a.At(i, j)) > 1e-12 {
+				t.Fatalf("L·Lᵀ = %v, want %v", p, a)
+			}
+		}
+	}
+}
+
+func TestCholeskyNotSPD(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 1}}) // indefinite
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("Cholesky of indefinite matrix should fail")
+	}
+	b := NewMatrix(2, 3)
+	if _, err := Cholesky(b); err == nil {
+		t.Fatal("Cholesky of non-square matrix should fail")
+	}
+}
+
+func TestSolveCholesky(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, -2}
+	b, _ := a.MulVec(want)
+	x, err := SolveCholesky(l, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Fatalf("SolveCholesky = %v, want %v", x, want)
+		}
+	}
+	if _, err := SolveCholesky(l, []float64{1}); err == nil {
+		t.Fatal("wrong rhs length should fail")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}})
+	if a.String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Identity(2)
+	c := a.Clone()
+	c.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}

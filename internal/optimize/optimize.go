@@ -1,0 +1,426 @@
+// Package optimize implements the numerical optimization routines used for
+// forecast-model parameter estimation (Section IV-B.1 of the paper refers to
+// "standard local (e.g., Hill-Climbing) or global (e.g., Simulated
+// Annealing) optimization algorithms"). All optimizers minimize an
+// objective function f: R^n -> R and are deterministic given their options
+// (stochastic methods take an explicit seed).
+package optimize
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Objective is a function to be minimized.
+type Objective func(x []float64) float64
+
+// Result reports the best point found and bookkeeping about the search.
+type Result struct {
+	X     []float64 // minimizing point
+	F     float64   // objective at X
+	Evals int       // number of objective evaluations
+	Iters int       // number of iterations of the outer loop
+}
+
+// NelderMeadOptions configures the downhill-simplex method.
+type NelderMeadOptions struct {
+	MaxIter int     // maximum iterations (default 400·n)
+	TolF    float64 // stop when simplex f-spread falls below TolF (default 1e-9)
+	TolX    float64 // stop when simplex x-spread falls below TolX (default 1e-9)
+	Step    float64 // initial simplex step per coordinate (default 0.1, or 0.00025 for zero coords)
+}
+
+func (o *NelderMeadOptions) defaults(n int) {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 400 * n
+	}
+	if o.TolF <= 0 {
+		o.TolF = 1e-9
+	}
+	if o.TolX <= 0 {
+		o.TolX = 1e-9
+	}
+	if o.Step <= 0 {
+		o.Step = 0.1
+	}
+}
+
+// NelderMead minimizes f starting from x0 using the Nelder-Mead downhill
+// simplex method with the standard reflection/expansion/contraction/shrink
+// coefficients (1, 2, 0.5, 0.5).
+func NelderMead(f Objective, x0 []float64, opts NelderMeadOptions) Result {
+	n := len(x0)
+	if n == 0 {
+		return Result{X: nil, F: f(nil), Evals: 1}
+	}
+	opts.defaults(n)
+
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		v := f(x)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+
+	// Build initial simplex.
+	pts := make([][]float64, n+1)
+	fs := make([]float64, n+1)
+	for i := range pts {
+		p := make([]float64, n)
+		copy(p, x0)
+		if i > 0 {
+			j := i - 1
+			if p[j] != 0 {
+				p[j] += opts.Step * math.Abs(p[j])
+			} else {
+				p[j] = 0.00025
+			}
+		}
+		pts[i] = p
+		fs[i] = eval(p)
+	}
+
+	order := func() {
+		// insertion sort by fs ascending (n is small).
+		for i := 1; i < len(pts); i++ {
+			p, v := pts[i], fs[i]
+			j := i - 1
+			for j >= 0 && fs[j] > v {
+				pts[j+1], fs[j+1] = pts[j], fs[j]
+				j--
+			}
+			pts[j+1], fs[j+1] = p, v
+		}
+	}
+
+	centroid := make([]float64, n)
+	xr := make([]float64, n)
+	xe := make([]float64, n)
+	xc := make([]float64, n)
+
+	iters := 0
+	for ; iters < opts.MaxIter; iters++ {
+		order()
+		// Convergence checks.
+		fSpread := math.Abs(fs[n] - fs[0])
+		var xSpread float64
+		for j := 0; j < n; j++ {
+			d := math.Abs(pts[n][j] - pts[0][j])
+			if d > xSpread {
+				xSpread = d
+			}
+		}
+		if fSpread < opts.TolF && xSpread < opts.TolX {
+			break
+		}
+
+		// Centroid of all but worst.
+		for j := 0; j < n; j++ {
+			centroid[j] = 0
+			for i := 0; i < n; i++ {
+				centroid[j] += pts[i][j]
+			}
+			centroid[j] /= float64(n)
+		}
+
+		// Reflection.
+		for j := 0; j < n; j++ {
+			xr[j] = centroid[j] + (centroid[j] - pts[n][j])
+		}
+		fr := eval(xr)
+		switch {
+		case fr < fs[0]:
+			// Expansion.
+			for j := 0; j < n; j++ {
+				xe[j] = centroid[j] + 2*(centroid[j]-pts[n][j])
+			}
+			fe := eval(xe)
+			if fe < fr {
+				copy(pts[n], xe)
+				fs[n] = fe
+			} else {
+				copy(pts[n], xr)
+				fs[n] = fr
+			}
+		case fr < fs[n-1]:
+			copy(pts[n], xr)
+			fs[n] = fr
+		default:
+			// Contraction (outside if fr < worst, else inside).
+			if fr < fs[n] {
+				for j := 0; j < n; j++ {
+					xc[j] = centroid[j] + 0.5*(xr[j]-centroid[j])
+				}
+			} else {
+				for j := 0; j < n; j++ {
+					xc[j] = centroid[j] + 0.5*(pts[n][j]-centroid[j])
+				}
+			}
+			fc := eval(xc)
+			if fc < math.Min(fr, fs[n]) {
+				copy(pts[n], xc)
+				fs[n] = fc
+			} else {
+				// Shrink toward best.
+				for i := 1; i <= n; i++ {
+					for j := 0; j < n; j++ {
+						pts[i][j] = pts[0][j] + 0.5*(pts[i][j]-pts[0][j])
+					}
+					fs[i] = eval(pts[i])
+				}
+			}
+		}
+	}
+	order()
+	best := make([]float64, n)
+	copy(best, pts[0])
+	return Result{X: best, F: fs[0], Evals: evals, Iters: iters}
+}
+
+// GoldenSection minimizes a one-dimensional objective on [a, b] using
+// golden-section search with the given absolute tolerance.
+func GoldenSection(f func(float64) float64, a, b, tol float64) (x, fx float64) {
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	const invPhi = 0.6180339887498949 // (sqrt(5)-1)/2
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	x = (a + b) / 2
+	return x, f(x)
+}
+
+// HillClimbOptions configures coordinate-wise hill climbing.
+type HillClimbOptions struct {
+	Step    float64 // initial step size per coordinate (default 0.1)
+	MinStep float64 // terminate when step falls below (default 1e-6)
+	MaxIter int     // maximum sweeps over all coordinates (default 200)
+	Lower   []float64
+	Upper   []float64 // optional box constraints (nil = unbounded)
+}
+
+// HillClimb minimizes f with a simple coordinate-descent hill climber: each
+// coordinate is probed in both directions with the current step; if no move
+// improves, the step is halved. This is the "standard local" optimizer the
+// paper mentions for parameter estimation.
+func HillClimb(f Objective, x0 []float64, opts HillClimbOptions) Result {
+	if opts.Step <= 0 {
+		opts.Step = 0.1
+	}
+	if opts.MinStep <= 0 {
+		opts.MinStep = 1e-6
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 200
+	}
+	n := len(x0)
+	x := make([]float64, n)
+	copy(x, x0)
+	clamp := func(j int, v float64) float64 {
+		if opts.Lower != nil && v < opts.Lower[j] {
+			v = opts.Lower[j]
+		}
+		if opts.Upper != nil && v > opts.Upper[j] {
+			v = opts.Upper[j]
+		}
+		return v
+	}
+	evals := 0
+	eval := func(p []float64) float64 { evals++; return f(p) }
+	fx := eval(x)
+	step := opts.Step
+	iters := 0
+	trial := make([]float64, n)
+	for iters < opts.MaxIter && step >= opts.MinStep {
+		improved := false
+		for j := 0; j < n; j++ {
+			for _, dir := range [...]float64{1, -1} {
+				copy(trial, x)
+				trial[j] = clamp(j, x[j]+dir*step)
+				if trial[j] == x[j] {
+					continue
+				}
+				if ft := eval(trial); ft < fx {
+					x[j], fx = trial[j], ft
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+		iters++
+	}
+	return Result{X: x, F: fx, Evals: evals, Iters: iters}
+}
+
+// AnnealOptions configures simulated annealing.
+type AnnealOptions struct {
+	Seed    int64   // RNG seed (deterministic runs)
+	T0      float64 // initial temperature (default 1.0)
+	Cooling float64 // geometric cooling factor per iteration (default 0.995)
+	MaxIter int     // iterations (default 2000)
+	Step    float64 // proposal stddev relative to box width or 1.0 (default 0.1)
+	Lower   []float64
+	Upper   []float64 // optional box constraints
+}
+
+// Anneal minimizes f with simulated annealing using Gaussian proposals and
+// geometric cooling — the "standard global" optimizer the paper mentions.
+func Anneal(f Objective, x0 []float64, opts AnnealOptions) Result {
+	if opts.T0 <= 0 {
+		opts.T0 = 1.0
+	}
+	if opts.Cooling <= 0 || opts.Cooling >= 1 {
+		opts.Cooling = 0.995
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 2000
+	}
+	if opts.Step <= 0 {
+		opts.Step = 0.1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := len(x0)
+	cur := make([]float64, n)
+	copy(cur, x0)
+	evals := 0
+	eval := func(p []float64) float64 {
+		evals++
+		v := f(p)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+	fcur := eval(cur)
+	best := make([]float64, n)
+	copy(best, cur)
+	fbest := fcur
+
+	width := func(j int) float64 {
+		if opts.Lower != nil && opts.Upper != nil {
+			return opts.Upper[j] - opts.Lower[j]
+		}
+		return 1.0
+	}
+	clamp := func(j int, v float64) float64 {
+		if opts.Lower != nil && v < opts.Lower[j] {
+			v = opts.Lower[j]
+		}
+		if opts.Upper != nil && v > opts.Upper[j] {
+			v = opts.Upper[j]
+		}
+		return v
+	}
+
+	temp := opts.T0
+	prop := make([]float64, n)
+	for it := 0; it < opts.MaxIter; it++ {
+		copy(prop, cur)
+		j := rng.Intn(n)
+		prop[j] = clamp(j, prop[j]+rng.NormFloat64()*opts.Step*width(j))
+		fp := eval(prop)
+		if fp < fcur || rng.Float64() < math.Exp((fcur-fp)/temp) {
+			copy(cur, prop)
+			fcur = fp
+			if fcur < fbest {
+				copy(best, cur)
+				fbest = fcur
+			}
+		}
+		temp *= opts.Cooling
+	}
+	return Result{X: best, F: fbest, Evals: evals, Iters: opts.MaxIter}
+}
+
+// GridSearch minimizes f over the Cartesian product of the given per-
+// coordinate candidate values. It returns the best point; ties are broken
+// in favor of the lexicographically first combination.
+func GridSearch(f Objective, grid [][]float64) Result {
+	n := len(grid)
+	if n == 0 {
+		return Result{X: nil, F: f(nil), Evals: 1, Iters: 1}
+	}
+	for _, g := range grid {
+		if len(g) == 0 {
+			return Result{X: nil, F: math.Inf(1)}
+		}
+	}
+	idx := make([]int, n)
+	x := make([]float64, n)
+	best := make([]float64, n)
+	fbest := math.Inf(1)
+	evals := 0
+	for {
+		for j := 0; j < n; j++ {
+			x[j] = grid[j][idx[j]]
+		}
+		evals++
+		if v := f(x); v < fbest {
+			fbest = v
+			copy(best, x)
+		}
+		// Advance the odometer.
+		j := n - 1
+		for ; j >= 0; j-- {
+			idx[j]++
+			if idx[j] < len(grid[j]) {
+				break
+			}
+			idx[j] = 0
+		}
+		if j < 0 {
+			break
+		}
+	}
+	return Result{X: best, F: fbest, Evals: evals, Iters: evals}
+}
+
+// InvNormCDF approximates the inverse standard-normal CDF (Acklam's
+// rational approximation, |ε| < 1.15e-9). The advisor derives its initial
+// γ from it, and the forecast package uses it for prediction-interval
+// quantiles.
+func InvNormCDF(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [...]float64{-39.69683028665376, 220.9460984245205, -275.9285104469687, 138.3577518672690, -30.66479806614716, 2.506628277459239}
+	b := [...]float64{-54.47609879822406, 161.5858368580409, -155.6989798598866, 66.80131188771972, -13.28068155288572}
+	c := [...]float64{-0.007784894002430293, -0.3223964580411365, -2.400758277161838, -2.549732539343734, 4.374664141464968, 2.938163982698783}
+	d := [...]float64{0.007784695709041462, 0.3224671290700398, 2.445134137142996, 3.754408661907416}
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

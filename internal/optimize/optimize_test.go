@@ -1,0 +1,182 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sphere(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+func shiftedSphere(c []float64) Objective {
+	return func(x []float64) float64 {
+		var s float64
+		for i, v := range x {
+			d := v - c[i]
+			s += d * d
+		}
+		return s
+	}
+}
+
+func rosenbrock(x []float64) float64 {
+	a := 1 - x[0]
+	b := x[1] - x[0]*x[0]
+	return a*a + 100*b*b
+}
+
+func TestNelderMeadSphere(t *testing.T) {
+	res := NelderMead(sphere, []float64{3, -2, 1}, NelderMeadOptions{})
+	if res.F > 1e-8 {
+		t.Fatalf("NelderMead sphere f = %v, want ~0 (x=%v)", res.F, res.X)
+	}
+}
+
+func TestNelderMeadShifted(t *testing.T) {
+	c := []float64{1.5, -0.5}
+	res := NelderMead(shiftedSphere(c), []float64{0, 0}, NelderMeadOptions{})
+	for i := range c {
+		if math.Abs(res.X[i]-c[i]) > 1e-4 {
+			t.Fatalf("minimizer %v, want %v", res.X, c)
+		}
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	res := NelderMead(rosenbrock, []float64{-1.2, 1}, NelderMeadOptions{MaxIter: 5000})
+	if math.Abs(res.X[0]-1) > 1e-2 || math.Abs(res.X[1]-1) > 1e-2 {
+		t.Fatalf("Rosenbrock minimizer %v, want (1,1), f=%v", res.X, res.F)
+	}
+}
+
+func TestNelderMeadEmpty(t *testing.T) {
+	res := NelderMead(func(x []float64) float64 { return 7 }, nil, NelderMeadOptions{})
+	if res.F != 7 || res.Evals != 1 {
+		t.Fatalf("empty-dim NelderMead = %+v", res)
+	}
+}
+
+func TestNelderMeadHandlesNaN(t *testing.T) {
+	// Objective returning NaN outside a region must not poison the search.
+	obj := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.NaN()
+		}
+		return (x[0] - 2) * (x[0] - 2)
+	}
+	res := NelderMead(obj, []float64{5}, NelderMeadOptions{})
+	if math.Abs(res.X[0]-2) > 1e-3 {
+		t.Fatalf("minimizer %v, want 2", res.X)
+	}
+}
+
+func TestNelderMeadNeverWorseThanStart(t *testing.T) {
+	f := func(seedA, seedB int8) bool {
+		x0 := []float64{float64(seedA) / 10, float64(seedB) / 10}
+		res := NelderMead(rosenbrock, x0, NelderMeadOptions{MaxIter: 50})
+		return res.F <= rosenbrock(x0)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGoldenSection(t *testing.T) {
+	x, fx := GoldenSection(func(v float64) float64 { return (v - 0.3) * (v - 0.3) }, 0, 1, 1e-9)
+	if math.Abs(x-0.3) > 1e-6 || fx > 1e-10 {
+		t.Fatalf("GoldenSection = (%v, %v)", x, fx)
+	}
+}
+
+func TestGoldenSectionBoundaryMinimum(t *testing.T) {
+	x, _ := GoldenSection(func(v float64) float64 { return v }, 2, 5, 1e-9)
+	if math.Abs(x-2) > 1e-6 {
+		t.Fatalf("boundary minimum x = %v, want 2", x)
+	}
+}
+
+func TestHillClimb(t *testing.T) {
+	res := HillClimb(shiftedSphere([]float64{0.4, -0.6}), []float64{0, 0}, HillClimbOptions{})
+	if res.F > 1e-6 {
+		t.Fatalf("HillClimb f = %v (x=%v)", res.F, res.X)
+	}
+}
+
+func TestHillClimbRespectsBounds(t *testing.T) {
+	res := HillClimb(shiftedSphere([]float64{5}), []float64{0},
+		HillClimbOptions{Lower: []float64{-1}, Upper: []float64{1}})
+	if res.X[0] > 1+1e-12 {
+		t.Fatalf("HillClimb violated bound: %v", res.X)
+	}
+	if math.Abs(res.X[0]-1) > 1e-6 {
+		t.Fatalf("bounded minimizer %v, want 1", res.X)
+	}
+}
+
+func TestAnnealFindsGlobalMin(t *testing.T) {
+	// Double-well with the global minimum near x = +2 and a local
+	// minimum near x = -2 (the -0.5x tilt separates them).
+	obj := func(x []float64) float64 {
+		v := x[0]
+		return (v*v-4)*(v*v-4)/16 - 0.5*v
+	}
+	res := Anneal(obj, []float64{-2}, AnnealOptions{Seed: 3, MaxIter: 5000, Step: 0.5,
+		Lower: []float64{-4}, Upper: []float64{4}})
+	if math.Abs(res.X[0]-2) > 0.3 {
+		t.Fatalf("Anneal stuck at %v, want near +2", res.X)
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	obj := shiftedSphere([]float64{1})
+	a := Anneal(obj, []float64{0}, AnnealOptions{Seed: 7, MaxIter: 500})
+	b := Anneal(obj, []float64{0}, AnnealOptions{Seed: 7, MaxIter: 500})
+	if a.X[0] != b.X[0] || a.F != b.F {
+		t.Fatalf("Anneal not deterministic per seed: %v vs %v", a, b)
+	}
+}
+
+func TestGridSearchExhaustive(t *testing.T) {
+	grid := [][]float64{{-1, 0, 1}, {2, 3}}
+	res := GridSearch(shiftedSphere([]float64{1, 3}), grid)
+	if res.X[0] != 1 || res.X[1] != 3 {
+		t.Fatalf("GridSearch = %v", res.X)
+	}
+	if res.Evals != 6 {
+		t.Fatalf("GridSearch evals = %d, want 6", res.Evals)
+	}
+}
+
+func TestGridSearchEmpty(t *testing.T) {
+	res := GridSearch(func(x []float64) float64 { return 5 }, nil)
+	if res.F != 5 {
+		t.Fatalf("empty GridSearch f = %v", res.F)
+	}
+	res = GridSearch(sphere, [][]float64{{}})
+	if !math.IsInf(res.F, 1) {
+		t.Fatalf("GridSearch with empty axis should return +Inf, got %v", res.F)
+	}
+}
+
+func TestGridSearchFindsSampledMinimumProperty(t *testing.T) {
+	f := func(vals [3]int8) bool {
+		axis := []float64{float64(vals[0]), float64(vals[1]), float64(vals[2])}
+		res := GridSearch(sphere, [][]float64{axis})
+		best := math.Inf(1)
+		for _, v := range axis {
+			if v*v < best {
+				best = v * v
+			}
+		}
+		return res.F == best
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

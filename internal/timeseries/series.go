@@ -1,0 +1,234 @@
+// Package timeseries provides the time-series substrate used throughout
+// cubefc: the Series type, descriptive statistics, train/test splitting and
+// the forecast-accuracy measures of Section II-D of the paper (most notably
+// SMAPE, eq. 4).
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Series is an equidistant time series. Values are ordered by time; the
+// absolute timestamps are irrelevant to the advisor, only the ordering and
+// the seasonal period matter. Period is the length of one season (e.g. 4
+// for quarterly data with yearly seasonality, 24 for hourly data with daily
+// seasonality); 0 or 1 means non-seasonal.
+type Series struct {
+	Values []float64
+	Period int
+}
+
+// New returns a Series over values with the given seasonal period.
+// The slice is used directly (not copied).
+func New(values []float64, period int) *Series {
+	return &Series{Values: values, Period: period}
+}
+
+// Len returns the number of observations.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Clone returns a deep copy of the series.
+func (s *Series) Clone() *Series {
+	v := make([]float64, len(s.Values))
+	copy(v, s.Values)
+	return &Series{Values: v, Period: s.Period}
+}
+
+// Append adds a new observation at the end of the series.
+func (s *Series) Append(x float64) { s.Values = append(s.Values, x) }
+
+// Slice returns a view [from, to) of the series sharing the same period.
+func (s *Series) Slice(from, to int) *Series {
+	return &Series{Values: s.Values[from:to], Period: s.Period}
+}
+
+// Sum returns the sum over all observations. This is the history sum h_s
+// used for derivation-weight calculation (eq. 2 and 3 of the paper).
+func (s *Series) Sum() float64 {
+	var t float64
+	for _, v := range s.Values {
+		t += v
+	}
+	return t
+}
+
+// Mean returns the arithmetic mean of the series (NaN for empty series).
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return math.NaN()
+	}
+	return s.Sum() / float64(len(s.Values))
+}
+
+// Variance returns the population variance of the series.
+func (s *Series) Variance() float64 {
+	n := len(s.Values)
+	if n == 0 {
+		return math.NaN()
+	}
+	m := s.Mean()
+	var acc float64
+	for _, v := range s.Values {
+		d := v - m
+		acc += d * d
+	}
+	return acc / float64(n)
+}
+
+// Std returns the population standard deviation.
+func (s *Series) Std() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the minimum observation (inf for empty series).
+func (s *Series) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range s.Values {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the maximum observation (-inf for empty series).
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range s.Values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Split divides the series into a training and a testing part. ratio is the
+// fraction of observations assigned to training (the paper uses 0.8,
+// Section VI-A). The returned series share the underlying array.
+func (s *Series) Split(ratio float64) (train, test *Series) {
+	if ratio < 0 {
+		ratio = 0
+	}
+	if ratio > 1 {
+		ratio = 1
+	}
+	cut := int(math.Round(ratio * float64(len(s.Values))))
+	if cut < 0 {
+		cut = 0
+	}
+	if cut > len(s.Values) {
+		cut = len(s.Values)
+	}
+	return s.Slice(0, cut), s.Slice(cut, len(s.Values))
+}
+
+// Add returns the element-wise sum of the given series. All series must
+// have the same length; the result inherits the period of the first.
+// This implements the SUM aggregation of the data model (Section II-A).
+func Add(series ...*Series) (*Series, error) {
+	if len(series) == 0 {
+		return nil, errors.New("timeseries: Add requires at least one series")
+	}
+	n := series[0].Len()
+	out := make([]float64, n)
+	for i, s := range series {
+		if s.Len() != n {
+			return nil, fmt.Errorf("timeseries: length mismatch: series 0 has %d observations, series %d has %d", n, i, s.Len())
+		}
+		for j, v := range s.Values {
+			out[j] += v
+		}
+	}
+	return &Series{Values: out, Period: series[0].Period}, nil
+}
+
+// Scale returns a copy of s with every observation multiplied by f.
+func (s *Series) Scale(f float64) *Series {
+	out := make([]float64, len(s.Values))
+	for i, v := range s.Values {
+		out[i] = v * f
+	}
+	return &Series{Values: out, Period: s.Period}
+}
+
+// Diff returns the d-times differenced series at the given lag.
+// lag 1 is ordinary differencing, lag = Period is seasonal differencing.
+func (s *Series) Diff(lag, d int) *Series {
+	v := s.Values
+	for ; d > 0; d-- {
+		if len(v) <= lag {
+			return &Series{Values: nil, Period: s.Period}
+		}
+		nv := make([]float64, len(v)-lag)
+		for i := range nv {
+			nv[i] = v[i+lag] - v[i]
+		}
+		v = nv
+	}
+	out := make([]float64, len(v))
+	copy(out, v)
+	return &Series{Values: out, Period: s.Period}
+}
+
+// ACF returns autocorrelation coefficients for lags 1..maxLag.
+func (s *Series) ACF(maxLag int) []float64 {
+	n := len(s.Values)
+	out := make([]float64, maxLag)
+	if n == 0 {
+		return out
+	}
+	m := s.Mean()
+	var c0 float64
+	for _, v := range s.Values {
+		d := v - m
+		c0 += d * d
+	}
+	if c0 == 0 {
+		return out
+	}
+	for lag := 1; lag <= maxLag; lag++ {
+		if lag >= n {
+			break
+		}
+		var ck float64
+		for i := 0; i < n-lag; i++ {
+			ck += (s.Values[i] - m) * (s.Values[i+lag] - m)
+		}
+		out[lag-1] = ck / c0
+	}
+	return out
+}
+
+// SeasonalProfile estimates an additive seasonal profile: the mean
+// deviation from the series mean per seasonal phase. It returns nil when
+// period < 2 or fewer than two full seasons are available.
+func (s *Series) SeasonalProfile(period int) []float64 {
+	n := len(s.Values)
+	if period < 2 || n < 2*period {
+		return nil
+	}
+	mean := s.Mean()
+	profile := make([]float64, period)
+	counts := make([]int, period)
+	for i, v := range s.Values {
+		profile[i%period] += v - mean
+		counts[i%period]++
+	}
+	for i := range profile {
+		profile[i] /= float64(counts[i])
+	}
+	return profile
+}
+
+// Deseasonalize returns a copy of the series with the given additive
+// profile removed (phase-aligned from index 0).
+func (s *Series) Deseasonalize(profile []float64) *Series {
+	if len(profile) == 0 {
+		return s.Clone()
+	}
+	out := make([]float64, len(s.Values))
+	for i, v := range s.Values {
+		out[i] = v - profile[i%len(profile)]
+	}
+	return &Series{Values: out, Period: s.Period}
+}

@@ -1,0 +1,167 @@
+// Package workload generates forecast-query and insert workloads against a
+// loaded F²DB engine, reproducing the query/insert experiment of Figure 9b:
+// a stream of time advances (one insert per base series per time point)
+// interleaved with a configurable number of random forecast queries per
+// insert.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cubefc/internal/cube"
+	"cubefc/internal/f2db"
+)
+
+// Generator produces random forecast queries and plausible insert values
+// for a graph.
+type Generator struct {
+	g   *cube.Graph
+	rng *rand.Rand
+}
+
+// New returns a deterministic workload generator.
+func New(g *cube.Graph, seed int64) *Generator {
+	return &Generator{g: g, rng: rand.New(rand.NewSource(seed))}
+}
+
+// RandomNode picks a uniformly random node (base or aggregated series, as
+// in the paper: "random forecast queries for base and aggregated time
+// series").
+func (w *Generator) RandomNode() int {
+	return w.rng.Intn(w.g.NumNodes())
+}
+
+// QuerySQL renders a forecast query for the node in the engine's SQL
+// dialect.
+func (w *Generator) QuerySQL(nodeID, steps int) string {
+	n := w.g.Nodes[nodeID]
+	sql := "SELECT time, SUM(m) FROM facts"
+	first := true
+	for d, cell := range n.Coord {
+		dim := &w.g.Dims[d]
+		if cell.IsAll(dim) {
+			continue
+		}
+		if first {
+			sql += " WHERE "
+			first = false
+		} else {
+			sql += " AND "
+		}
+		sql += fmt.Sprintf("%s = '%s'", dim.Levels[cell.Level], cell.Value)
+	}
+	sql += fmt.Sprintf(" GROUP BY time AS OF now() + '%d steps'", steps)
+	return sql
+}
+
+// NextBatch synthesizes the next time-stamp value for every base series:
+// the seasonal-naive continuation of each series perturbed with
+// proportional noise — a plausible "new actual" stream.
+func (w *Generator) NextBatch() map[int]float64 {
+	out := make(map[int]float64, len(w.g.BaseIDs))
+	for _, id := range w.g.BaseIDs {
+		s := w.g.Nodes[id].Series
+		n := s.Len()
+		lag := s.Period
+		if lag < 1 || lag > n {
+			lag = 1
+		}
+		base := s.Values[n-lag]
+		v := base * (1 + 0.05*w.rng.NormFloat64())
+		if v < 0 {
+			v = 0
+		}
+		out[id] = v
+	}
+	return out
+}
+
+// RunResult aggregates a workload execution.
+type RunResult struct {
+	Queries       int
+	Inserts       int
+	AvgQueryTime  time.Duration
+	TotalTime     time.Duration
+	QueryTime     time.Duration // engine time spent answering queries
+	MaintainTime  time.Duration // engine time spent on insert maintenance
+	Reestimations int
+}
+
+// EngineTimePerQuery is the engine-side cost per forecast query including
+// the amortized maintenance share of the interleaved inserts — the measure
+// plotted in Figure 9b.
+func (r RunResult) EngineTimePerQuery() time.Duration {
+	if r.Queries == 0 {
+		return 0
+	}
+	return (r.QueryTime + r.MaintainTime) / time.Duration(r.Queries)
+}
+
+// Options configures Run.
+type Options struct {
+	// TimePoints is the number of full insert batches (time advances);
+	// the paper uses 10.
+	TimePoints int
+	// QueriesPerInsert is the query/insert ratio (paper: 1..10).
+	QueriesPerInsert int
+	// Horizon is the forecast horizon per query in steps (default 1).
+	Horizon int
+	// UseSQL routes queries through the SQL parser instead of the direct
+	// node API (slower; exercises the full query processor).
+	UseSQL bool
+}
+
+// Run executes the interleaved workload against the engine: for every time
+// point, each base series receives one insert, and QueriesPerInsert random
+// forecast queries are issued per insert.
+func Run(db *f2db.DB, gen *Generator, opts Options) (RunResult, error) {
+	if opts.TimePoints <= 0 {
+		opts.TimePoints = 10
+	}
+	if opts.QueriesPerInsert <= 0 {
+		opts.QueriesPerInsert = 1
+	}
+	if opts.Horizon <= 0 {
+		opts.Horizon = 1
+	}
+	var res RunResult
+	statsBefore := db.Stats()
+	start := time.Now()
+	var queryTime time.Duration
+	for tp := 0; tp < opts.TimePoints; tp++ {
+		batch := gen.NextBatch()
+		// Deterministic insert order.
+		for _, id := range db.Graph().BaseIDs {
+			if err := db.InsertBase(id, batch[id]); err != nil {
+				return res, err
+			}
+			res.Inserts++
+			for q := 0; q < opts.QueriesPerInsert; q++ {
+				node := gen.RandomNode()
+				qs := time.Now()
+				var err error
+				if opts.UseSQL {
+					_, err = db.Query(gen.QuerySQL(node, opts.Horizon))
+				} else {
+					_, err = db.ForecastNode(node, opts.Horizon)
+				}
+				queryTime += time.Since(qs)
+				if err != nil {
+					return res, fmt.Errorf("workload: query on node %d: %w", node, err)
+				}
+				res.Queries++
+			}
+		}
+	}
+	res.TotalTime = time.Since(start)
+	if res.Queries > 0 {
+		res.AvgQueryTime = queryTime / time.Duration(res.Queries)
+	}
+	after := db.Stats()
+	res.Reestimations = after.Reestimations - statsBefore.Reestimations
+	res.QueryTime = after.QueryTime - statsBefore.QueryTime
+	res.MaintainTime = after.MaintainTime - statsBefore.MaintainTime
+	return res, nil
+}

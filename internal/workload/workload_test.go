@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"testing"
+
+	"cubefc/internal/core"
+	"cubefc/internal/datasets"
+	"cubefc/internal/f2db"
+)
+
+func testDB(t *testing.T) (*f2db.DB, *Generator) {
+	t.Helper()
+	ds := datasets.GenX(1, 60, datasets.GenXOptions{Length: 40})
+	g, err := ds.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := core.Run(g, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := f2db.Open(g, cfg, f2db.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, New(g, 1)
+}
+
+func TestNextBatchCoversAllBases(t *testing.T) {
+	db, gen := testDB(t)
+	batch := gen.NextBatch()
+	if len(batch) != len(db.Graph().BaseIDs) {
+		t.Fatalf("batch size = %d, want %d", len(batch), len(db.Graph().BaseIDs))
+	}
+	for id, v := range batch {
+		if !db.Graph().Nodes[id].IsBase {
+			t.Fatal("batch contains non-base node")
+		}
+		if v < 0 {
+			t.Fatal("negative insert value")
+		}
+	}
+}
+
+func TestQuerySQLIsParsable(t *testing.T) {
+	db, gen := testDB(t)
+	for i := 0; i < 20; i++ {
+		node := gen.RandomNode()
+		sql := gen.QuerySQL(node, 2)
+		res, err := db.Query(sql)
+		if err != nil {
+			t.Fatalf("generated query %q failed: %v", sql, err)
+		}
+		if res.Node != node {
+			t.Fatalf("query %q resolved to node %d, want %d", sql, res.Node, node)
+		}
+	}
+}
+
+func TestRunCounts(t *testing.T) {
+	db, gen := testDB(t)
+	res, err := Run(db, gen, Options{TimePoints: 2, QueriesPerInsert: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInserts := 2 * len(db.Graph().BaseIDs)
+	if res.Inserts != wantInserts {
+		t.Fatalf("inserts = %d, want %d", res.Inserts, wantInserts)
+	}
+	if res.Queries != 3*wantInserts {
+		t.Fatalf("queries = %d, want %d", res.Queries, 3*wantInserts)
+	}
+	if res.AvgQueryTime <= 0 {
+		t.Fatal("avg query time not measured")
+	}
+	if db.Stats().Batches != 2 {
+		t.Fatalf("batches = %d, want 2", db.Stats().Batches)
+	}
+}
+
+func TestRunViaSQL(t *testing.T) {
+	db, gen := testDB(t)
+	res, err := Run(db, gen, Options{TimePoints: 1, QueriesPerInsert: 1, UseSQL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries == 0 {
+		t.Fatal("no queries executed")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	db, _ := testDB(t)
+	a := New(db.Graph(), 7)
+	b := New(db.Graph(), 7)
+	for i := 0; i < 10; i++ {
+		if a.RandomNode() != b.RandomNode() {
+			t.Fatal("generator not deterministic per seed")
+		}
+	}
+}
