@@ -55,7 +55,7 @@ func main() {
 			fail(cerr)
 		}
 		fmt.Printf("opened %s: %d nodes, %d models\n", *dbPath, db.Graph().NumNodes(), db.Configuration().NumModels())
-		repl(db, db.Graph(), db.Configuration(), *dbPath)
+		repl(db, *dbPath)
 		return
 	}
 
@@ -123,12 +123,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	repl(db, g, cfg, name)
+	repl(db, name)
 }
 
 // repl runs the interactive query loop.
-func repl(db *f2db.DB, g *cube.Graph, cfg *core.Configuration, name string) {
-	fmt.Printf("F²DB shell over %s (%d nodes). Type \\help for help.\n", name, g.NumNodes())
+func repl(db *f2db.DB, name string) {
+	fmt.Printf("F²DB shell over %s (%d nodes). Type \\help for help.\n", name, db.Graph().NumNodes())
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -146,10 +146,8 @@ func repl(db *f2db.DB, g *cube.Graph, cfg *core.Configuration, name string) {
 		case line == `\help`:
 			printHelp()
 		case line == `\stats`:
-			s := db.Stats()
-			fmt.Printf("queries=%d inserts=%d batches=%d reestimations=%d pending=%d invalid=%d\n",
-				s.Queries, s.Inserts, s.Batches, s.Reestimations, s.PendingInserts, db.InvalidCount())
-			fmt.Printf("query-time=%v maintenance-time=%v\n", s.QueryTime, s.MaintainTime)
+			fmt.Printf("pending=%d invalid=%d\n", db.Stats().PendingInserts, db.InvalidCount())
+			fmt.Print(db.Metrics())
 		case strings.HasPrefix(line, `\save `):
 			path := strings.TrimSpace(strings.TrimPrefix(line, `\save `))
 			fh, err := os.Create(path)
@@ -168,8 +166,10 @@ func repl(db *f2db.DB, g *cube.Graph, cfg *core.Configuration, name string) {
 			}
 			fmt.Printf("database saved to %s (reopen with -db %s)\n", path, path)
 		case line == `\models`:
-			for _, id := range cfg.ModelIDs() {
-				fmt.Printf("  %-40s %s\n", g.Nodes[id].Key(g.Dims), cfg.Models[id].Name())
+			cfgView := db.Configuration()
+			gView := db.Graph()
+			for _, id := range cfgView.ModelIDs() {
+				fmt.Printf("  %-40s %s\n", gView.NodeKey(id), cfgView.ModelFamily(id))
 			}
 		case line == `\health`:
 			keys := make([]string, 0)

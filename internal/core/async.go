@@ -2,7 +2,6 @@ package core
 
 import (
 	"math/rand"
-	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -138,45 +137,13 @@ func (a *Advisor) Close() {
 }
 
 // planProbe selects a target and 2–3 source nodes with proximity-decaying
-// probability, mirroring multiSourceProbes' planning step.
+// probability, sharing multiSourceProbes' planning step. A plan with
+// target -1 means no viable source set existed for the drawn target.
 func (a *Advisor) planProbe(rng *rand.Rand, modelIDs []int) probePlan {
 	t := rng.Intn(a.g.NumNodes())
-	near := a.g.ClosestNodes(t, a.indK)
-	modelSet := make(map[int]bool, len(modelIDs))
-	for _, id := range modelIDs {
-		modelSet[id] = true
+	srcs := a.planProbeSources(rng, t, modelIDs)
+	if srcs == nil {
+		return probePlan{target: -1}
 	}
-	var pool []int
-	for _, id := range near {
-		if modelSet[id] {
-			pool = append(pool, id)
-		}
-	}
-	if len(pool) < 2 {
-		pool = modelIDs
-	}
-	want := 2 + rng.Intn(2)
-	if want > len(pool) {
-		want = len(pool)
-	}
-	chosen := make(map[int]bool, want)
-	for len(chosen) < want {
-		for _, id := range pool {
-			if len(chosen) >= want {
-				break
-			}
-			if chosen[id] {
-				continue
-			}
-			if rng.Float64() < 0.5 {
-				chosen[id] = true
-			}
-		}
-	}
-	srcs := make([]int, 0, len(chosen))
-	for id := range chosen {
-		srcs = append(srcs, id)
-	}
-	sort.Ints(srcs)
 	return probePlan{target: t, sources: srcs}
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"sync"
 
 	"cubefc/internal/derivation"
@@ -85,43 +84,10 @@ func (a *Advisor) multiSourceProbes() {
 	plans := make([]probe, 0, probes)
 	for i := 0; i < probes; i++ {
 		t := a.rng.Intn(a.g.NumNodes())
-		// Order model nodes by BFS proximity to the target; fall back to
-		// the full model list for distant targets.
-		near := a.g.ClosestNodes(t, a.indK)
-		var pool []int
-		for _, id := range near {
-			if _, ok := a.cfg.Models[id]; ok {
-				pool = append(pool, id)
-			}
+		srcs := a.planProbeSources(a.rng, t, modelIDs)
+		if srcs == nil {
+			continue
 		}
-		if len(pool) < 2 {
-			pool = modelIDs
-		}
-		want := 2 + a.rng.Intn(2) // 2 or 3 sources
-		if want > len(pool) {
-			want = len(pool)
-		}
-		// Geometric preference for close sources: walk the
-		// proximity-ordered pool and pick with decaying probability.
-		chosen := make(map[int]bool, want)
-		for len(chosen) < want {
-			for _, id := range pool {
-				if len(chosen) >= want {
-					break
-				}
-				if chosen[id] {
-					continue
-				}
-				if a.rng.Float64() < 0.5 {
-					chosen[id] = true
-				}
-			}
-		}
-		srcs := make([]int, 0, len(chosen))
-		for id := range chosen {
-			srcs = append(srcs, id)
-		}
-		sort.Ints(srcs)
 		plans = append(plans, probe{target: t, sources: srcs})
 	}
 

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// planProbeSources selects 2–3 source model nodes for a multi-source probe
+// targeting node target, preferring sources close to the target (Section
+// IV-C.2: "the possibility of selecting a source node decreases with
+// increasing distance from the target node"). The target itself is never a
+// source: a scheme deriving a node from itself is circular and would be
+// evaluated as a spuriously perfect derivation. Returns nil when fewer than
+// two distinct non-target model nodes exist.
+//
+// The helper only reads the advisor's immutable graph and indK; callers on
+// the async planning path pass a model-ID snapshot rather than touching
+// a.cfg.
+func (a *Advisor) planProbeSources(rng *rand.Rand, target int, modelIDs []int) []int {
+	modelSet := make(map[int]bool, len(modelIDs))
+	for _, id := range modelIDs {
+		modelSet[id] = true
+	}
+	// Order model nodes by BFS proximity to the target; fall back to the
+	// full model list for distant targets. Both pools exclude the target.
+	near := a.g.ClosestNodes(target, a.indK)
+	var pool []int
+	for _, id := range near {
+		if id != target && modelSet[id] {
+			pool = append(pool, id)
+		}
+	}
+	if len(pool) < 2 {
+		pool = pool[:0]
+		for _, id := range modelIDs {
+			if id != target {
+				pool = append(pool, id)
+			}
+		}
+	}
+	if len(pool) < 2 {
+		return nil
+	}
+	want := 2 + rng.Intn(2) // 2 or 3 sources
+	if want > len(pool) {
+		want = len(pool)
+	}
+	// Geometric preference for close sources: walk the proximity-ordered
+	// pool and pick with decaying probability.
+	chosen := make(map[int]bool, want)
+	for len(chosen) < want {
+		for _, id := range pool {
+			if len(chosen) >= want {
+				break
+			}
+			if chosen[id] {
+				continue
+			}
+			if rng.Float64() < 0.5 {
+				chosen[id] = true
+			}
+		}
+	}
+	srcs := make([]int, 0, len(chosen))
+	for id := range chosen {
+		srcs = append(srcs, id)
+	}
+	sort.Ints(srcs)
+	return srcs
+}

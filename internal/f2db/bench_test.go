@@ -1,0 +1,151 @@
+package f2db
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"cubefc/internal/core"
+	"cubefc/internal/cube"
+	"cubefc/internal/timeseries"
+)
+
+// benchEngine builds a moderate cube (3 products × 6 cities → 2 regions)
+// and opens an engine over an advisor-selected configuration. The graph is
+// big enough that query traffic spreads over many nodes, small enough that
+// the advisor finishes quickly.
+func benchEngine(b *testing.B, strategy InvalidationStrategy) (*DB, *cube.Graph) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	loc, err := cube.NewHierarchy("location", []string{"city", "region"},
+		[]map[string]string{{"C1": "R1", "C2": "R1", "C3": "R1", "C4": "R2", "C5": "R2", "C6": "R2"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dims := []cube.Dimension{cube.NewDimension("product", "product"), loc}
+	var base []cube.BaseSeries
+	for _, p := range []string{"P1", "P2", "P3"} {
+		for _, c := range []string{"C1", "C2", "C3", "C4", "C5", "C6"} {
+			vals := make([]float64, 48)
+			level := 40 + 30*rng.Float64()
+			for i := range vals {
+				season := 1 + 0.3*math.Sin(2*math.Pi*float64(i%4)/4)
+				vals[i] = level * season * (1 + 0.05*rng.NormFloat64())
+			}
+			base = append(base, cube.BaseSeries{Members: []string{p, c}, Series: timeseries.New(vals, 4)})
+		}
+	}
+	g, err := cube.NewGraph(dims, base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := core.Run(g, core.Options{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := Open(g, cfg, Options{Strategy: strategy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db, g
+}
+
+// BenchmarkForecastNodeSerial is the single-goroutine baseline.
+func BenchmarkForecastNodeSerial(b *testing.B) {
+	db, g := benchEngine(b, nil)
+	n := g.NumNodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.ForecastNode(i%n, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForecastNodeParallel measures read throughput scaling: all
+// goroutines issue forecast queries with no writer present. Under the
+// seed's single mutex this cannot beat the serial path; under the
+// reader/writer design it scales with cores.
+func BenchmarkForecastNodeParallel(b *testing.B) {
+	db, g := benchEngine(b, nil)
+	n := g.NumNodes()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := rand.Int()
+		for pb.Next() {
+			i++
+			if _, err := db.ForecastNode(i%n, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkQuerySQLParallel exercises the full query processor (parse →
+// rewrite → derive) concurrently.
+func BenchmarkQuerySQLParallel(b *testing.B) {
+	db, _ := benchEngine(b, nil)
+	queries := []string{
+		"SELECT time, SUM(m) FROM facts GROUP BY time AS OF now() + '2 steps'",
+		"SELECT time, SUM(m) FROM facts WHERE region = 'R1' GROUP BY time AS OF now() + '1 step'",
+		"SELECT time, m FROM facts WHERE product = 'P1' AND city = 'C4' AS OF now() + '3 steps'",
+		"SELECT time, AVG(m) FROM facts WHERE product = 'P2' GROUP BY time AS OF now() + '2 steps'",
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := rand.Int()
+		for pb.Next() {
+			i++
+			if _, err := db.Query(queries[i%len(queries)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMixedQueryInsertParallel runs parallel query goroutines against a
+// steady background insert stream (one full maintenance batch per tick, so
+// the writer load is identical across engine implementations). This is the
+// scenario the reader/writer design targets: queries must not serialize
+// behind maintenance.
+func BenchmarkMixedQueryInsertParallel(b *testing.B) {
+	db, g := benchEngine(b, nil)
+	n := g.NumNodes()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(200 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			for _, id := range g.BaseIDs {
+				if err := db.InsertBase(id, 50); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := rand.Int()
+		for pb.Next() {
+			i++
+			if _, err := db.ForecastNode(i%n, 2); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}

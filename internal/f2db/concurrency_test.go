@@ -1,6 +1,8 @@
 package f2db
 
 import (
+	"bytes"
+	"fmt"
 	"sync"
 	"testing"
 )
@@ -47,6 +49,135 @@ func TestConcurrentQueriesAndInserts(t *testing.T) {
 	s := db.Stats()
 	if s.Queries != 200 || s.Batches != 5 {
 		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestConcurrentStress interleaves every public entry point — SQL queries,
+// direct forecasts, inserts, health, stats, metrics, views, explain and
+// snapshotting — under a tight invalidation strategy so readers constantly
+// hit the re-estimation upgrade path. Run with -race: the test exists to
+// give the race detector a dense schedule, not to assert outputs.
+func TestConcurrentStress(t *testing.T) {
+	db, g, _ := testEngine(t, TimeBased{Every: 1})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 128)
+
+	// SQL query workers.
+	queries := []string{
+		"SELECT time, SUM(m) FROM facts GROUP BY time AS OF now() + '2 steps'",
+		"SELECT time, SUM(m) FROM facts WHERE region = 'R1' GROUP BY time AS OF now() + '1 step'",
+		"SELECT time, AVG(m) FROM facts WHERE city = 'C2' GROUP BY time AS OF now() + '3 steps' WITH INTERVAL 95",
+	}
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if _, err := db.Query(queries[(w+i)%len(queries)]); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// Direct forecast workers.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if _, err := db.ForecastNode((w*31+i*7)%g.NumNodes(), 2); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// Observability workers: lock-free metrics plus RLocked inspection.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			m := db.Metrics()
+			if m.Queries < 0 {
+				errCh <- fmt.Errorf("negative query count %d", m.Queries)
+				return
+			}
+			_ = m.QueryLatency.Quantile(0.95)
+			_ = db.Stats()
+			_ = db.Health()
+			_ = db.InvalidCount()
+		}
+	}()
+	// View readers: defensive copies must stay consistent mid-write.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		gv, cv := db.Graph(), db.Configuration()
+		for i := 0; i < 60; i++ {
+			ids := gv.BaseIDs()
+			_ = gv.NodeValues(ids[i%len(ids)])
+			_ = gv.Length()
+			for _, id := range cv.ModelIDs() {
+				_, _ = cv.Scheme(id)
+			}
+			_ = db.Explain(g.TopID)
+		}
+	}()
+	// Snapshot worker: SaveDatabase shares the read lock with queries.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			var buf bytes.Buffer
+			if err := SaveDatabase(&buf, db); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	// Insert worker: full batches with Every=1 invalidate models each step.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for step := 0; step < 6; step++ {
+			for _, id := range g.BaseIDs {
+				if err := db.InsertBase(id, float64(40+step)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	m := db.Metrics()
+	if m.Inserts != int64(6*len(g.BaseIDs)) {
+		t.Fatalf("inserts = %d, want %d", m.Inserts, 6*len(g.BaseIDs))
+	}
+	if m.Batches != 6 {
+		t.Fatalf("batches = %d, want 6", m.Batches)
+	}
+	if m.Queries == 0 || m.QueryLatency.Count != m.Queries {
+		t.Fatalf("latency histogram count %d != queries %d", m.QueryLatency.Count, m.Queries)
+	}
+	// Every=1 invalidated the models each batch. Depending on scheduling
+	// the queries above may or may not have hit the lazy path; a final
+	// query per node deterministically exercises it.
+	for id := 0; id < g.NumNodes(); id++ {
+		if _, err := db.ForecastNode(id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Metrics().Reestimations == 0 {
+		t.Fatal("Every=1 strategy should force re-estimations")
+	}
+	if db.InvalidCount() != 0 {
+		t.Fatalf("%d models still invalid after full query sweep", db.InvalidCount())
 	}
 }
 

@@ -7,9 +7,20 @@
 // is self-contained and stdlib-only; the component structure of Figure 6
 // (configuration storage, forecast query processor, maintenance processor)
 // is preserved.
+//
+// Concurrency model: the engine distinguishes readers from maintenance.
+// Forecast queries (Query, ForecastNode, Health, Stats, Explain) take
+// shared read access and run concurrently on all cores; inserts and the
+// batch maintenance they trigger (model state updates, derivation-weight
+// updates, re-estimation) take the exclusive write lock. The one crossing
+// point is lazy re-estimation (Section V delays parameter re-estimation
+// until a query references the model): a query that hits an invalidated
+// model retries once holding the write lock. Engine counters are atomics
+// (see metrics.go), so observing the engine never blocks it.
 package f2db
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -64,7 +75,9 @@ type Never struct{}
 // Invalidate implements InvalidationStrategy.
 func (Never) Invalidate(ModelStats) bool { return false }
 
-// Stats aggregates engine counters.
+// Stats aggregates engine counters. It is kept for compatibility with the
+// workload/experiment harnesses; Metrics exposes the richer surface
+// (per-kind scheme hits, latency histogram).
 type Stats struct {
 	Queries        int
 	Inserts        int
@@ -84,7 +97,10 @@ type schemeState struct {
 
 // DB is the embedded F²DB engine.
 type DB struct {
-	mu sync.Mutex
+	// mu separates shared readers (forecast queries, health and stats
+	// snapshots) from exclusive writers (insert maintenance, lazy
+	// re-estimation, snapshot restore).
+	mu sync.RWMutex
 
 	graph *cube.Graph
 	cfg   *core.Configuration
@@ -99,13 +115,18 @@ type DB struct {
 	schemes  map[int]*schemeState
 
 	// pending batches inserts until every base series has a value for
-	// the next time stamp.
-	pending map[int]float64
+	// the next time stamp. It has its own mutex so the insert hot path
+	// does not queue behind mu as a writer (which would stall readers):
+	// only the insert completing a batch takes the engine write lock.
+	// Lock order: mu before pendingMu, never the reverse.
+	pendingMu sync.Mutex
+	pending   map[int]float64
 
-	// baseCounts caches the number of base series per node (AVG queries).
-	baseCounts map[int]int
+	// baseCounts holds the number of base series per node (AVG queries),
+	// precomputed at Open so the read path never mutates shared state.
+	baseCounts []int
 
-	stats Stats
+	met engineMetrics
 }
 
 // Options configures Open.
@@ -150,39 +171,70 @@ func Open(g *cube.Graph, cfg *core.Configuration, opts Options) (*DB, error) {
 		}
 		db.schemes[id] = st
 	}
+	// Precompute per-node base-series counts (AVG scaling). This also
+	// warms the graph's cover-closure cache before any concurrency, so
+	// maintenance batches never write to it while queries run.
+	incidence := g.BaseIncidence()
+	db.baseCounts = make([]int, len(incidence))
+	for id, bases := range incidence {
+		c := len(bases)
+		if c == 0 {
+			c = 1
+		}
+		db.baseCounts[id] = c
+	}
 	return db, nil
 }
 
-// Graph exposes the underlying time-series hyper graph.
-func (db *DB) Graph() *cube.Graph { return db.graph }
-
-// Configuration exposes the loaded model configuration.
-func (db *DB) Configuration() *core.Configuration { return db.cfg }
-
 // Stats returns a snapshot of the engine counters.
 func (db *DB) Stats() Stats {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	s := db.stats
-	s.PendingInserts = len(db.pending)
-	return s
+	db.pendingMu.Lock()
+	pending := len(db.pending)
+	db.pendingMu.Unlock()
+	return Stats{
+		Queries:        int(db.met.queries.Load()),
+		Inserts:        int(db.met.inserts.Load()),
+		Batches:        int(db.met.batches.Load()),
+		Reestimations:  int(db.met.reestimations.Load()),
+		QueryTime:      time.Duration(db.met.queryNanos.Load()),
+		MaintainTime:   time.Duration(db.met.maintainNanos.Load()),
+		PendingInserts: pending,
+	}
 }
+
+// errNeedsReestimate signals that a forecast under shared (read) access hit
+// a model awaiting re-estimation; the caller retries once holding the
+// write lock. It never escapes the package API.
+var errNeedsReestimate = errors.New("f2db: model awaits re-estimation")
 
 // ForecastNode answers a forecast for the node over horizon h steps using
 // the stored scheme and live model states, re-estimating invalid models
 // lazily (Section V: "we reduce maintenance overhead by delaying parameter
-// reestimation until the model is actually referenced by a query").
+// reestimation until the model is actually referenced by a query"). The
+// common path runs under the shared read lock; only a query that actually
+// needs a re-estimation upgrades to the write lock.
 func (db *DB) ForecastNode(nodeID, h int) ([]float64, error) {
+	db.mu.RLock()
+	fc, err := db.forecastLocked(nodeID, h, false)
+	db.mu.RUnlock()
+	if err != errNeedsReestimate {
+		return fc, err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.forecastLocked(nodeID, h)
+	return db.forecastLocked(nodeID, h, true)
 }
 
-func (db *DB) forecastLocked(nodeID, h int) ([]float64, error) {
+// forecastLocked derives the node forecast. The caller holds the read lock
+// (exclusive=false) or the write lock (exclusive=true); only the exclusive
+// variant may re-estimate invalidated source models.
+func (db *DB) forecastLocked(nodeID, h int, exclusive bool) (fc []float64, err error) {
 	start := time.Now()
 	defer func() {
-		db.stats.Queries++
-		db.stats.QueryTime += time.Since(start)
+		if err == errNeedsReestimate {
+			return // retried under the write lock; that attempt is counted
+		}
+		db.met.recordQuery(time.Since(start))
 	}()
 	sc, ok := db.cfg.Schemes[nodeID]
 	if !ok {
@@ -195,12 +247,16 @@ func (db *DB) forecastLocked(nodeID, h int) ([]float64, error) {
 			return nil, fmt.Errorf("f2db: scheme source %d has no model", s)
 		}
 		if db.invalid[s] {
+			if !exclusive {
+				return nil, errNeedsReestimate
+			}
 			if err := db.reestimate(s, m); err != nil {
 				return nil, err
 			}
 		}
 		fcs[i] = m.Forecast(h)
 	}
+	db.met.recordSchemeHit(sc.Kind)
 	// Use the incrementally maintained weight.
 	liveSc := sc
 	if st, ok := db.schemes[nodeID]; ok && st.hSources != 0 && sc.Kind != derivation.Direct {
@@ -211,14 +267,15 @@ func (db *DB) forecastLocked(nodeID, h int) ([]float64, error) {
 
 // forecastIntervalLocked returns the point forecast of a node and, when
 // conf > 0 (a percentage, e.g. 95), lower/upper prediction-interval bounds.
-// The interval assumes independent, normally distributed residuals at the
-// scheme's sources; each source contributes its one-step residual variance
-// grown by its model's horizon profile (ψ weights for ARIMA, class-1
-// state-space formulas for exponential smoothing):
+// Locking contract as forecastLocked. The interval assumes independent,
+// normally distributed residuals at the scheme's sources; each source
+// contributes its one-step residual variance grown by its model's horizon
+// profile (ψ weights for ARIMA, class-1 state-space formulas for
+// exponential smoothing):
 //
 //	spread(step) = z · |k| · sqrt( Σ_s σ_s² · scale_s(step)² )
-func (db *DB) forecastIntervalLocked(nodeID, h int, conf float64) (point, lo, hi []float64, err error) {
-	point, err = db.forecastLocked(nodeID, h)
+func (db *DB) forecastIntervalLocked(nodeID, h int, conf float64, exclusive bool) (point, lo, hi []float64, err error) {
+	point, err = db.forecastLocked(nodeID, h, exclusive)
 	if err != nil || conf <= 0 {
 		return point, nil, nil, err
 	}
@@ -250,7 +307,7 @@ func (db *DB) forecastIntervalLocked(nodeID, h int, conf float64) (point, lo, hi
 }
 
 // reestimate re-fits a model's parameters on the node's full current
-// history.
+// history. Caller holds the write lock.
 func (db *DB) reestimate(id int, m forecast.Model) error {
 	if err := m.Fit(db.graph.Nodes[id].Series); err != nil {
 		return fmt.Errorf("f2db: re-estimating node %d: %w", id, err)
@@ -259,7 +316,7 @@ func (db *DB) reestimate(id int, m forecast.Model) error {
 	st := db.mstats[id]
 	st.UpdatesSinceFit = 0
 	st.RollingError = 0
-	db.stats.Reestimations++
+	db.met.reestimations.Add(1)
 	return nil
 }
 
@@ -269,8 +326,6 @@ func (db *DB) reestimate(id int, m forecast.Model) error {
 // graph and all models and derivation weights are updated incrementally
 // (Section V).
 func (db *DB) Insert(members []string, value float64) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	coord := make(cube.Coord, len(db.graph.Dims))
 	for d := range db.graph.Dims {
 		if d >= len(members) {
@@ -278,47 +333,78 @@ func (db *DB) Insert(members []string, value float64) error {
 		}
 		coord[d] = cube.Cell{Level: 0, Value: members[d]}
 	}
+	// The coordinate index is immutable after construction; resolving the
+	// node needs no lock.
 	n := db.graph.Lookup(coord)
 	if n == nil || !n.IsBase {
 		return fmt.Errorf("f2db: unknown base series %v", members)
 	}
-	return db.insertBaseLocked(n.ID, value)
+	return db.InsertBase(n.ID, value)
 }
 
 // InsertBase is Insert addressed by base node ID (fast path for generated
-// workloads).
-func (db *DB) InsertBase(baseID int, value float64) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.insertBaseLocked(baseID, value)
-}
-
-func (db *DB) insertBaseLocked(baseID int, value float64) error {
+// workloads). Incomplete-batch inserts only touch the pending map; the
+// engine write lock is taken once per completed batch, so a steady insert
+// stream barely interferes with concurrent readers.
+func (db *DB) InsertBase(baseID int, value float64) (err error) {
 	start := time.Now()
 	defer func() {
-		db.stats.Inserts++
-		db.stats.MaintainTime += time.Since(start)
+		if err == nil {
+			db.met.inserts.Add(1)
+		}
+		db.met.maintainNanos.Add(time.Since(start).Nanoseconds())
 	}()
-	if _, dup := db.pending[baseID]; dup {
-		return fmt.Errorf("f2db: duplicate insert for base node %d in current batch", baseID)
+	for {
+		db.pendingMu.Lock()
+		if _, dup := db.pending[baseID]; dup {
+			full := len(db.pending) == len(db.graph.BaseIDs)
+			db.pendingMu.Unlock()
+			if !full {
+				return fmt.Errorf("f2db: duplicate insert for base node %d in current batch", baseID)
+			}
+			// A complete batch is awaiting its advance (another inserter
+			// won the completion race); help apply it, then retry.
+			if err := db.advanceIfComplete(); err != nil {
+				return err
+			}
+			continue
+		}
+		db.pending[baseID] = value
+		complete := len(db.pending) == len(db.graph.BaseIDs)
+		db.pendingMu.Unlock()
+		if !complete {
+			return nil
+		}
+		return db.advanceIfComplete()
 	}
-	db.pending[baseID] = value
-	if len(db.pending) < len(db.graph.BaseIDs) {
-		return nil
-	}
-	return db.advanceLocked()
 }
 
-// advanceLocked processes a complete batch: appends the new values to every
+// advanceIfComplete applies the pending batch if it is (still) complete.
+// Safe to race: whichever caller takes the write lock first advances, the
+// rest see an incomplete (fresh) batch and return.
+func (db *DB) advanceIfComplete() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.pendingMu.Lock()
+	if len(db.pending) < len(db.graph.BaseIDs) {
+		db.pendingMu.Unlock()
+		return nil
+	}
+	batch := db.pending
+	db.pending = make(map[int]float64)
+	db.pendingMu.Unlock()
+	return db.advanceBatch(batch)
+}
+
+// advanceBatch processes a complete batch: appends the new values to every
 // node series, updates model states and derivation weights incrementally,
-// and applies the invalidation strategy.
-func (db *DB) advanceLocked() error {
+// and applies the invalidation strategy. Caller holds the write lock.
+func (db *DB) advanceBatch(batch map[int]float64) error {
 	t := db.graph.Length // index of the new observation after Advance
-	if err := db.graph.Advance(db.pending); err != nil {
+	if err := db.graph.Advance(batch); err != nil {
 		return err
 	}
-	db.pending = make(map[int]float64)
-	db.stats.Batches++
+	db.met.batches.Add(1)
 
 	// Model state updates: compare the one-step forecast against the new
 	// actual to maintain the rolling error, then advance the state.
@@ -355,8 +441,8 @@ func (db *DB) advanceLocked() error {
 
 // InvalidCount returns how many models currently await re-estimation.
 func (db *DB) InvalidCount() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	c := 0
 	for _, v := range db.invalid {
 		if v {
@@ -380,8 +466,8 @@ type ModelHealth struct {
 
 // Health returns a snapshot of every model's maintenance state.
 func (db *DB) Health() map[string]ModelHealth {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make(map[string]ModelHealth, len(db.cfg.Models))
 	for id, m := range db.cfg.Models {
 		st := db.mstats[id]

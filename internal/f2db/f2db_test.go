@@ -671,13 +671,13 @@ func TestDatabaseSnapshotRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if db2.Graph().Length != g.Length {
-		t.Fatalf("restored length %d, want %d", db2.Graph().Length, g.Length)
+	if db2.Graph().Length() != g.Length {
+		t.Fatalf("restored length %d, want %d", db2.Graph().Length(), g.Length)
 	}
 	if db2.Stats().PendingInserts != 3 {
 		t.Fatalf("restored pending = %d, want 3", db2.Stats().PendingInserts)
 	}
-	top := db2.Graph().TopID
+	top := db2.Graph().TopID()
 	got, err := db2.ForecastNode(top, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -688,7 +688,7 @@ func TestDatabaseSnapshotRoundTrip(t *testing.T) {
 		}
 	}
 	// The restored engine keeps working: complete the pending batch.
-	for _, id := range db2.Graph().BaseIDs[3:] {
+	for _, id := range db2.Graph().BaseIDs()[3:] {
 		if err := db2.InsertBase(id, 7); err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,201 @@
+package f2db
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"cubefc/internal/derivation"
+)
+
+// This file is the engine's observability surface. All counters are plain
+// atomics so the hot read path (forecast queries under the shared lock)
+// never funnels through the write lock to record what it did; a Metrics()
+// snapshot is likewise lock-free and safe to call from monitoring
+// goroutines at any rate.
+
+// latencyBucketCount sizes the log-bucketed histogram: bucket i counts
+// observations d with 2^(i-1) ns <= d < 2^i ns (bucket 0 holds sub-ns
+// durations, which cannot occur in practice). 42 buckets reach ~73 minutes,
+// far beyond any plausible query latency.
+const latencyBucketCount = 42
+
+// histogram is a fixed-size log₂-bucketed latency histogram with lock-free
+// updates.
+type histogram struct {
+	count    atomic.Int64
+	sumNanos atomic.Int64
+	buckets  [latencyBucketCount]atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= latencyBucketCount {
+		i = latencyBucketCount - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(ns)
+}
+
+func (h *histogram) snapshot() LatencySnapshot {
+	s := LatencySnapshot{Count: h.count.Load()}
+	if s.Count > 0 {
+		s.Mean = time.Duration(h.sumNanos.Load() / s.Count)
+	}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		le := time.Duration(int64(1) << i)
+		s.Buckets = append(s.Buckets, LatencyBucket{Le: le, Count: c})
+	}
+	return s
+}
+
+// LatencyBucket is one non-empty histogram bucket: Count observations were
+// at most Le (and above half of Le).
+type LatencyBucket struct {
+	Le    time.Duration
+	Count int64
+}
+
+// LatencySnapshot is a point-in-time copy of the query-latency histogram.
+type LatencySnapshot struct {
+	Count   int64
+	Mean    time.Duration
+	Buckets []LatencyBucket // ascending by Le, empty buckets omitted
+}
+
+// Quantile returns a conservative (upper-bound) estimate of the q-quantile,
+// q in [0, 1], from the bucket boundaries. Zero when nothing was observed.
+func (s LatencySnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			return b.Le
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Le
+}
+
+// derivationKinds bounds the per-kind counters; derivation.Kind values are
+// the contiguous range Direct..General.
+const derivationKinds = int(derivation.General) + 1
+
+// engineMetrics holds the live counters; updates use atomics only, never
+// the engine lock.
+type engineMetrics struct {
+	queries       atomic.Int64
+	inserts       atomic.Int64
+	batches       atomic.Int64
+	reestimations atomic.Int64
+	queryNanos    atomic.Int64
+	maintainNanos atomic.Int64
+	schemeHits    [derivationKinds]atomic.Int64
+	latency       histogram
+}
+
+func (m *engineMetrics) recordQuery(d time.Duration) {
+	m.queries.Add(1)
+	m.queryNanos.Add(d.Nanoseconds())
+	m.latency.observe(d)
+}
+
+func (m *engineMetrics) recordSchemeHit(k derivation.Kind) {
+	i := int(k)
+	if i < 0 || i >= derivationKinds {
+		i = int(derivation.General)
+	}
+	m.schemeHits[i].Add(1)
+}
+
+// Metrics is a point-in-time snapshot of the engine's observability
+// counters (see DB.Metrics).
+type Metrics struct {
+	// Queries counts answered node forecasts (a drill-down SQL query
+	// answering g groups counts g).
+	Queries int64
+	// Inserts, Batches and Reestimations mirror the maintenance
+	// processor: raw inserts, completed time advances, and model
+	// re-fits (lazy or maintenance-triggered).
+	Inserts       int64
+	Batches       int64
+	Reestimations int64
+	// QueryTime and MaintainTime accumulate engine-side wall time.
+	QueryTime    time.Duration
+	MaintainTime time.Duration
+	// SchemeHits counts answered forecasts by derivation kind
+	// ("direct", "aggregation", "disaggregation", "general").
+	SchemeHits map[string]int64
+	// QueryLatency is the log-bucketed per-forecast latency histogram.
+	QueryLatency LatencySnapshot
+}
+
+// Metrics returns a lock-free snapshot of the engine counters. Unlike
+// Stats it exposes the full observability surface: per-kind derivation
+// hits and the query-latency histogram.
+func (db *DB) Metrics() Metrics {
+	m := Metrics{
+		Queries:       db.met.queries.Load(),
+		Inserts:       db.met.inserts.Load(),
+		Batches:       db.met.batches.Load(),
+		Reestimations: db.met.reestimations.Load(),
+		QueryTime:     time.Duration(db.met.queryNanos.Load()),
+		MaintainTime:  time.Duration(db.met.maintainNanos.Load()),
+		SchemeHits:    make(map[string]int64, derivationKinds),
+		QueryLatency:  db.met.latency.snapshot(),
+	}
+	for i := 0; i < derivationKinds; i++ {
+		if c := db.met.schemeHits[i].Load(); c > 0 {
+			m.SchemeHits[derivation.Kind(i).String()] = c
+		}
+	}
+	return m
+}
+
+// String renders the metrics in the compact form used by the CLI's \stats
+// command.
+func (m Metrics) String() string {
+	out := fmt.Sprintf("queries=%d inserts=%d batches=%d reestimations=%d\n",
+		m.Queries, m.Inserts, m.Batches, m.Reestimations)
+	out += fmt.Sprintf("query-time=%v maintenance-time=%v\n", m.QueryTime, m.MaintainTime)
+	if len(m.SchemeHits) > 0 {
+		out += "scheme-hits:"
+		for _, kind := range []string{"direct", "aggregation", "disaggregation", "general"} {
+			if c, ok := m.SchemeHits[kind]; ok {
+				out += fmt.Sprintf(" %s=%d", kind, c)
+			}
+		}
+		out += "\n"
+	}
+	if m.QueryLatency.Count > 0 {
+		out += fmt.Sprintf("query-latency: mean=%v p50=%v p95=%v p99=%v max<=%v\n",
+			m.QueryLatency.Mean,
+			m.QueryLatency.Quantile(0.50),
+			m.QueryLatency.Quantile(0.95),
+			m.QueryLatency.Quantile(0.99),
+			m.QueryLatency.Buckets[len(m.QueryLatency.Buckets)-1].Le)
+	}
+	return out
+}

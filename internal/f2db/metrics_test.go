@@ -1,0 +1,152 @@
+package f2db
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	var h histogram
+	// 100 observations at ~1µs, 10 at ~1ms, 1 at ~1s.
+	for i := 0; i < 100; i++ {
+		h.observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(time.Millisecond)
+	}
+	h.observe(time.Second)
+
+	s := h.snapshot()
+	if s.Count != 111 {
+		t.Fatalf("count = %d, want 111", s.Count)
+	}
+	var total int64
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].Le <= s.Buckets[i-1].Le {
+			t.Fatal("buckets not ascending")
+		}
+	}
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatalf("bucket sum %d != count %d", total, s.Count)
+	}
+	// Quantiles are upper bounds: p50 lands in the 1µs bucket (Le ≤ 2µs),
+	// p99 at most in the 1ms bucket, p100 covers the 1s outlier.
+	if q := s.Quantile(0.50); q < time.Microsecond || q > 2*time.Microsecond {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := s.Quantile(0.99); q < time.Millisecond || q > 2*time.Millisecond {
+		t.Fatalf("p99 = %v", q)
+	}
+	if q := s.Quantile(1); q < time.Second {
+		t.Fatalf("p100 = %v does not cover the outlier", q)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h histogram
+	if q := h.snapshot().Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+	h.observe(-time.Second) // clamped, must not panic or corrupt
+	h.observe(100 * time.Hour)
+	s := h.snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count = %d, want 2", s.Count)
+	}
+	if s.Quantile(-1) > s.Quantile(2) {
+		t.Fatal("clamped quantiles out of order")
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	db, g, _ := testEngine(t, nil)
+	if _, err := db.ForecastNode(g.TopID, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ForecastNode(g.BaseIDs[0], 2); err != nil {
+		t.Fatal(err)
+	}
+	m := db.Metrics()
+	if m.Queries != 2 {
+		t.Fatalf("queries = %d, want 2", m.Queries)
+	}
+	if m.QueryLatency.Count != 2 {
+		t.Fatalf("latency count = %d, want 2", m.QueryLatency.Count)
+	}
+	if m.QueryTime <= 0 {
+		t.Fatal("query time not accumulated")
+	}
+	var hits int64
+	for _, c := range m.SchemeHits {
+		hits += c
+	}
+	if hits != 2 {
+		t.Fatalf("scheme hits = %d, want 2 (%v)", hits, m.SchemeHits)
+	}
+	// Metrics and Stats agree on the shared counters.
+	s := db.Stats()
+	if int64(s.Queries) != m.Queries || s.QueryTime != m.QueryTime {
+		t.Fatalf("Stats/Metrics diverge: %+v vs %+v", s, m)
+	}
+
+	rendered := db.Metrics().String()
+	for _, want := range []string{"queries=2", "scheme-hits:", "query-latency:"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("rendered metrics missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+func TestViewsReturnCopies(t *testing.T) {
+	db, g, _ := testEngine(t, nil)
+	gv := db.Graph()
+
+	ids := gv.BaseIDs()
+	ids[0] = -99
+	if gv.BaseIDs()[0] == -99 {
+		t.Fatal("BaseIDs aliases internal state")
+	}
+	vals := gv.NodeValues(g.TopID)
+	if len(vals) != gv.Length() {
+		t.Fatalf("values len %d, want %d", len(vals), gv.Length())
+	}
+	vals[0] = -1e9
+	if gv.NodeValues(g.TopID)[0] == -1e9 {
+		t.Fatal("NodeValues aliases internal state")
+	}
+	if gv.NodeValues(-1) != nil || gv.NodeKey(-1) != "" || gv.IsBase(-1) {
+		t.Fatal("out-of-range node not handled")
+	}
+
+	cv := db.Configuration()
+	mids := cv.ModelIDs()
+	if len(mids) != cv.NumModels() {
+		t.Fatalf("%d model IDs, %d models", len(mids), cv.NumModels())
+	}
+	for _, id := range mids {
+		if cv.ModelFamily(id) == "" {
+			t.Fatalf("model node %d has no family", id)
+		}
+		sc, ok := cv.Scheme(id)
+		if !ok {
+			t.Fatalf("model node %d has no scheme", id)
+		}
+		if len(sc.Sources) > 0 {
+			sc.Sources[0] = -99
+			sc2, _ := cv.Scheme(id)
+			if sc2.Sources[0] == -99 {
+				t.Fatal("Scheme aliases internal source slice")
+			}
+		}
+	}
+	if _, ok := cv.Scheme(-1); ok {
+		t.Fatal("scheme for unknown node")
+	}
+	if db.Explain(g.TopID) == "" {
+		t.Fatal("Explain returned nothing")
+	}
+}

@@ -25,15 +25,25 @@ type dbImage struct {
 	StepDuration time.Duration
 }
 
-// SaveDatabase serializes the whole engine state.
+// SaveDatabase serializes the whole engine state. It holds the shared read
+// lock for the duration: concurrent queries proceed, maintenance waits.
 func SaveDatabase(w io.Writer, db *DB) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	// Copy the in-flight batch under its own lock (order: mu, pendingMu).
+	// Batch application holds mu exclusively, so the copy is consistent
+	// with the graph state captured below.
+	db.pendingMu.Lock()
+	pending := make(map[int]float64, len(db.pending))
+	for id, v := range db.pending {
+		pending[id] = v
+	}
+	db.pendingMu.Unlock()
 
 	img := dbImage{
 		Dims:         db.graph.Dims,
 		StepDuration: db.stepDuration,
-		Pending:      make(map[string]float64, len(db.pending)),
+		Pending:      make(map[string]float64, len(pending)),
 	}
 	for _, id := range db.graph.BaseIDs {
 		n := db.graph.Nodes[id]
@@ -46,7 +56,7 @@ func SaveDatabase(w io.Writer, db *DB) error {
 			Series:  n.Series.Slice(0, db.graph.Length).Clone(),
 		})
 	}
-	for id, v := range db.pending {
+	for id, v := range pending {
 		img.Pending[db.graph.Nodes[id].Key(db.graph.Dims)] = v
 	}
 	var cfgBuf bytes.Buffer

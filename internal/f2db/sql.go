@@ -132,14 +132,31 @@ func (db *DB) Exec(sql string) error {
 // Query parses and executes a (forecast) query. Queries constrained to one
 // coordinate return a single group; a GROUP BY over a hierarchy level
 // returns one group per member value at that level (drill-down).
+//
+// Queries execute under the engine's shared read lock and run concurrently
+// with each other; only a query that needs a lazy model re-estimation
+// retries under the exclusive write lock.
 func (db *DB) Query(sql string) (*Result, error) {
 	stmt, err := parseQuery(sql)
 	if err != nil {
 		return nil, err
 	}
+	db.mu.RLock()
+	res, err := db.execSelect(stmt, false)
+	db.mu.RUnlock()
+	if err != errNeedsReestimate {
+		return res, err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.execSelect(stmt, true)
+}
 
+// execSelect resolves and executes a parsed SELECT. Locking contract as
+// forecastLocked: the caller holds the read lock, or the write lock when
+// exclusive is set.
+func (db *DB) execSelect(stmt *selectStmt, exclusive bool) (*Result, error) {
+	var err error
 	var nodes []*cube.Node
 	var members []string
 	if stmt.groupLevel != "" {
@@ -170,7 +187,7 @@ func (db *DB) Query(sql string) (*Result, error) {
 		}
 	}
 	for i, n := range nodes {
-		rows, err := db.buildRows(n, stmt, h)
+		rows, err := db.buildRows(n, stmt, h, exclusive)
 		if err != nil {
 			return nil, err
 		}
@@ -202,10 +219,10 @@ func (db *DB) explainNode(id int) string {
 // historical queries, or the derived forecast (optionally with prediction
 // intervals) for AS OF queries. The AVG aggregate divides the SUM values
 // by the number of base series covered by the node.
-func (db *DB) buildRows(n *cube.Node, stmt *selectStmt, h int) ([]QueryRow, error) {
+func (db *DB) buildRows(n *cube.Node, stmt *selectStmt, h int, exclusive bool) ([]QueryRow, error) {
 	scale := 1.0
 	if stmt.agg == "avg" {
-		scale = 1 / float64(db.baseCount(n))
+		scale = 1 / float64(db.baseCounts[n.ID])
 	}
 	if stmt.horizon == "" {
 		vals := n.Series.Values[:db.graph.Length]
@@ -215,7 +232,7 @@ func (db *DB) buildRows(n *cube.Node, stmt *selectStmt, h int) ([]QueryRow, erro
 		}
 		return rows, nil
 	}
-	point, lo, hi, err := db.forecastIntervalLocked(n.ID, h, stmt.interval)
+	point, lo, hi, err := db.forecastIntervalLocked(n.ID, h, stmt.interval, exclusive)
 	if err != nil {
 		return nil, err
 	}
@@ -228,23 +245,6 @@ func (db *DB) buildRows(n *cube.Node, stmt *selectStmt, h int) ([]QueryRow, erro
 		}
 	}
 	return rows, nil
-}
-
-// baseCount returns (and caches) the number of base series covered by a
-// node.
-func (db *DB) baseCount(n *cube.Node) int {
-	if db.baseCounts == nil {
-		db.baseCounts = make(map[int]int)
-	}
-	if c, ok := db.baseCounts[n.ID]; ok {
-		return c
-	}
-	c := len(db.graph.SummingVector(n))
-	if c == 0 {
-		c = 1
-	}
-	db.baseCounts[n.ID] = c
-	return c
 }
 
 // resolveGroupNodes resolves a GROUP BY <level> query: the named level must

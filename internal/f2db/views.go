@@ -1,0 +1,134 @@
+package f2db
+
+import (
+	"sort"
+
+	"cubefc/internal/derivation"
+)
+
+// Read-only views over the engine's internal state. The engine used to
+// return its live *cube.Graph and *core.Configuration, letting callers read
+// series values and model state while maintenance batches mutated them.
+// The views below expose what callers legitimately need: structural graph
+// facts (node count, keys, base IDs — immutable after construction) without
+// locking, and mutable facts (series length, history values, model
+// families) under the engine's read lock. Anything returned is a copy.
+
+// GraphView is a read-only view of the engine's time-series hyper graph.
+type GraphView struct{ db *DB }
+
+// Graph returns a read-only view of the underlying time-series hyper
+// graph. Structural accessors (NumNodes, TopID, BaseIDs, NodeKey, IsBase,
+// Period) never block; Length and NodeValues take the engine's shared read
+// lock so they are consistent with concurrent maintenance.
+func (db *DB) Graph() GraphView { return GraphView{db: db} }
+
+// NumNodes returns the number of nodes in the graph.
+func (v GraphView) NumNodes() int { return v.db.graph.NumNodes() }
+
+// TopID returns the ID of the node aggregating over all dimensions.
+func (v GraphView) TopID() int { return v.db.graph.TopID }
+
+// BaseIDs returns a copy of the finest-level node IDs in enumeration
+// order.
+func (v GraphView) BaseIDs() []int {
+	return append([]int(nil), v.db.graph.BaseIDs...)
+}
+
+// NumBase returns the number of base series.
+func (v GraphView) NumBase() int { return len(v.db.graph.BaseIDs) }
+
+// IsBase reports whether the node is a base (finest-level) series.
+func (v GraphView) IsBase(id int) bool {
+	g := v.db.graph
+	return id >= 0 && id < len(g.Nodes) && g.Nodes[id].IsBase
+}
+
+// NodeKey returns the canonical coordinate key of a node ("" when out of
+// range).
+func (v GraphView) NodeKey(id int) string {
+	g := v.db.graph
+	if id < 0 || id >= len(g.Nodes) {
+		return ""
+	}
+	return g.Nodes[id].Key(g.Dims)
+}
+
+// Period returns the seasonal period of the node series.
+func (v GraphView) Period() int { return v.db.graph.Period }
+
+// Length returns the current number of observations in every node series.
+func (v GraphView) Length() int {
+	v.db.mu.RLock()
+	defer v.db.mu.RUnlock()
+	return v.db.graph.Length
+}
+
+// NodeValues returns a copy of the node's stored history.
+func (v GraphView) NodeValues(id int) []float64 {
+	g := v.db.graph
+	if id < 0 || id >= len(g.Nodes) {
+		return nil
+	}
+	v.db.mu.RLock()
+	defer v.db.mu.RUnlock()
+	return append([]float64(nil), g.Nodes[id].Series.Values[:g.Length]...)
+}
+
+// ConfigView is a read-only view of the loaded model configuration.
+type ConfigView struct{ db *DB }
+
+// Configuration returns a read-only view of the loaded model
+// configuration. The assignment structure (which nodes carry models, the
+// derivation schemes) is immutable while the engine is open; accessors
+// touching live model state take the engine's read lock.
+func (db *DB) Configuration() ConfigView { return ConfigView{db: db} }
+
+// NumModels returns the number of models in the configuration.
+func (v ConfigView) NumModels() int { return len(v.db.cfg.Models) }
+
+// ModelIDs returns the sorted node IDs carrying a model.
+func (v ConfigView) ModelIDs() []int {
+	ids := make([]int, 0, len(v.db.cfg.Models))
+	for id := range v.db.cfg.Models {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// ModelFamily returns the family name of the model at the node ("" when
+// the node carries none).
+func (v ConfigView) ModelFamily(id int) string {
+	m, ok := v.db.cfg.Models[id]
+	if !ok {
+		return ""
+	}
+	v.db.mu.RLock()
+	defer v.db.mu.RUnlock()
+	return m.Name()
+}
+
+// Scheme returns a copy of the derivation scheme stored for the node. The
+// returned scheme carries the advisor-selected weight; the engine answers
+// queries with the incrementally maintained live weight (see Explain for
+// the rendered plan).
+func (v ConfigView) Scheme(id int) (derivation.Scheme, bool) {
+	sc, ok := v.db.cfg.Schemes[id]
+	if !ok {
+		return derivation.Scheme{}, false
+	}
+	sc.Sources = append([]int(nil), sc.Sources...)
+	return sc, true
+}
+
+// TrainLen returns the number of observations the models were trained on.
+func (v ConfigView) TrainLen() int { return v.db.cfg.TrainLen }
+
+// Explain renders the derivation plan of a node, like the SQL EXPLAIN
+// prefix.
+func (db *DB) Explain(nodeID int) string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.explainNode(nodeID)
+}

@@ -6,14 +6,17 @@ import (
 )
 
 // SMAPE returns the symmetric mean absolute percentage error between actual
-// and forecast values as defined in eq. 4 of the paper:
+// and forecast values:
 //
-//	SMAPE = mean_t( |x_t - x̂_t| / (x_t + x̂_t) )
+//	SMAPE = mean_t( |x_t - x̂_t| / (|x_t| + |x̂_t|) )
 //
-// It is scale independent and takes values in [0, 1]. Time steps where both
-// actual and forecast are zero contribute an error of zero (the forecast is
-// exact). Negative denominators are guarded by taking absolute values,
-// which keeps the measure in range for series that may dip below zero.
+// Eq. 4 of the paper writes the denominator as (x_t + x̂_t), assuming
+// non-negative series; taking absolute values is the standard generalization
+// that keeps the measure scale independent and in [0, 1] for series that
+// may dip below zero (a plain sum could go negative or cancel to zero and
+// push the ratio out of range). For non-negative data the two definitions
+// coincide. Time steps where both actual and forecast are zero contribute
+// an error of zero (the forecast is exact).
 func SMAPE(actual, forecast []float64) float64 {
 	n := minLen(actual, forecast)
 	if n == 0 {

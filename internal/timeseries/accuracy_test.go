@@ -61,6 +61,47 @@ func TestSMAPERangeProperty(t *testing.T) {
 	}
 }
 
+// TestSMAPENegativeSeries pins the absolute-value denominator: a plain
+// (x_t + x̂_t) sum would cancel to zero for opposite-sign pairs and go
+// negative for negative series, pushing SMAPE out of [0, 1].
+func TestSMAPENegativeSeries(t *testing.T) {
+	cases := []struct {
+		actual, forecast []float64
+		want             float64
+	}{
+		// Opposite signs: |-10-10| / (|-10|+|10|) = 1, the worst case;
+		// the paper's literal denominator would be 0.
+		{[]float64{-10}, []float64{10}, 1},
+		// Both negative, exact: perfect forecast stays 0.
+		{[]float64{-5}, []float64{-5}, 0},
+		// Both negative: |-10-(-30)| / (10+30) = 0.5 — mirrors the
+		// positive-series known value; the literal denominator -40 would
+		// yield -0.5.
+		{[]float64{-10}, []float64{-30}, 0.5},
+		// Mixed-sign series average per-step ratios, staying in range.
+		{[]float64{-10, 10}, []float64{-30, 30}, 0.5},
+	}
+	for _, c := range cases {
+		if got := SMAPE(c.actual, c.forecast); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("SMAPE(%v, %v) = %v, want %v", c.actual, c.forecast, got, c.want)
+		}
+	}
+	// Range property must extend to arbitrary-sign data.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(50)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for j := range a {
+			a[j] = (rng.Float64() - 0.5) * 200
+			b[j] = (rng.Float64() - 0.5) * 200
+		}
+		if s := SMAPE(a, b); s < 0 || s > 1 {
+			t.Fatalf("SMAPE left [0,1] on signed data: %v", s)
+		}
+	}
+}
+
 func TestSMAPESymmetryProperty(t *testing.T) {
 	f := func(a, b uint8) bool {
 		x, y := float64(a)+1, float64(b)+1

@@ -130,10 +130,11 @@ func Run(db *f2db.DB, gen *Generator, opts Options) (RunResult, error) {
 	statsBefore := db.Stats()
 	start := time.Now()
 	var queryTime time.Duration
+	baseIDs := db.Graph().BaseIDs()
 	for tp := 0; tp < opts.TimePoints; tp++ {
 		batch := gen.NextBatch()
 		// Deterministic insert order.
-		for _, id := range db.Graph().BaseIDs {
+		for _, id := range baseIDs {
 			if err := db.InsertBase(id, batch[id]); err != nil {
 				return res, err
 			}

@@ -4,11 +4,12 @@ import (
 	"testing"
 
 	"cubefc/internal/core"
+	"cubefc/internal/cube"
 	"cubefc/internal/datasets"
 	"cubefc/internal/f2db"
 )
 
-func testDB(t *testing.T) (*f2db.DB, *Generator) {
+func testDB(t *testing.T) (*f2db.DB, *Generator, *cube.Graph) {
 	t.Helper()
 	ds := datasets.GenX(1, 60, datasets.GenXOptions{Length: 40})
 	g, err := ds.Graph()
@@ -23,17 +24,17 @@ func testDB(t *testing.T) (*f2db.DB, *Generator) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return db, New(g, 1)
+	return db, New(g, 1), g
 }
 
 func TestNextBatchCoversAllBases(t *testing.T) {
-	db, gen := testDB(t)
+	db, gen, _ := testDB(t)
 	batch := gen.NextBatch()
-	if len(batch) != len(db.Graph().BaseIDs) {
-		t.Fatalf("batch size = %d, want %d", len(batch), len(db.Graph().BaseIDs))
+	if len(batch) != db.Graph().NumBase() {
+		t.Fatalf("batch size = %d, want %d", len(batch), db.Graph().NumBase())
 	}
 	for id, v := range batch {
-		if !db.Graph().Nodes[id].IsBase {
+		if !db.Graph().IsBase(id) {
 			t.Fatal("batch contains non-base node")
 		}
 		if v < 0 {
@@ -43,7 +44,7 @@ func TestNextBatchCoversAllBases(t *testing.T) {
 }
 
 func TestQuerySQLIsParsable(t *testing.T) {
-	db, gen := testDB(t)
+	db, gen, _ := testDB(t)
 	for i := 0; i < 20; i++ {
 		node := gen.RandomNode()
 		sql := gen.QuerySQL(node, 2)
@@ -58,12 +59,12 @@ func TestQuerySQLIsParsable(t *testing.T) {
 }
 
 func TestRunCounts(t *testing.T) {
-	db, gen := testDB(t)
+	db, gen, _ := testDB(t)
 	res, err := Run(db, gen, Options{TimePoints: 2, QueriesPerInsert: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantInserts := 2 * len(db.Graph().BaseIDs)
+	wantInserts := 2 * db.Graph().NumBase()
 	if res.Inserts != wantInserts {
 		t.Fatalf("inserts = %d, want %d", res.Inserts, wantInserts)
 	}
@@ -79,7 +80,7 @@ func TestRunCounts(t *testing.T) {
 }
 
 func TestRunViaSQL(t *testing.T) {
-	db, gen := testDB(t)
+	db, gen, _ := testDB(t)
 	res, err := Run(db, gen, Options{TimePoints: 1, QueriesPerInsert: 1, UseSQL: true})
 	if err != nil {
 		t.Fatal(err)
@@ -90,9 +91,9 @@ func TestRunViaSQL(t *testing.T) {
 }
 
 func TestGeneratorDeterminism(t *testing.T) {
-	db, _ := testDB(t)
-	a := New(db.Graph(), 7)
-	b := New(db.Graph(), 7)
+	_, _, g := testDB(t)
+	a := New(g, 7)
+	b := New(g, 7)
 	for i := 0; i < 10; i++ {
 		if a.RandomNode() != b.RandomNode() {
 			t.Fatal("generator not deterministic per seed")
