@@ -7,6 +7,7 @@
 //	f2dbcli -dataset tourism
 //	f2dbcli -dataset gen1k -config config.f2db
 //	f2dbcli -csv facts.csv -dims "product;location=city<region" -period 12
+//	f2dbcli -dataset tourism -metrics :9090    # Prometheus text on /metrics
 //
 // Queries:
 //
@@ -21,6 +22,8 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -39,6 +42,7 @@ func main() {
 	csvPath := flag.String("csv", "", "load a fact-table CSV instead of a built-in data set")
 	dimSpec := flag.String("dims", "", "dimension spec for -csv, e.g. \"product;location=city<region\"")
 	period := flag.Int("period", 1, "seasonal period for -csv data")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus-format engine metrics on this address (e.g. :9090)")
 	flag.Parse()
 
 	if *dbPath != "" {
@@ -55,6 +59,7 @@ func main() {
 			fail(cerr)
 		}
 		fmt.Printf("opened %s: %d nodes, %d models\n", *dbPath, db.Graph().NumNodes(), db.Configuration().NumModels())
+		serveMetrics(db, *metricsAddr)
 		repl(db, *dbPath)
 		return
 	}
@@ -123,7 +128,29 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	serveMetrics(db, *metricsAddr)
 	repl(db, name)
+}
+
+// serveMetrics exposes the engine counters on addr/metrics in Prometheus
+// text format (no-op when addr is empty). The endpoint is lock-free; it
+// never interferes with the interactive session.
+func serveMetrics(db *f2db.DB, addr string) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", db.MetricsHandler())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("serving metrics on http://%s/metrics\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "f2dbcli: metrics server:", err)
+		}
+	}()
 }
 
 // repl runs the interactive query loop.
@@ -235,7 +262,8 @@ func printHelp() {
   GROUP BY a hierarchy level (e.g. city) drills down: one series per member.
   WITH INTERVAL 95 adds prediction-interval bounds to forecast rows.
   EXPLAIN SELECT ...            show the derivation scheme of the node
-  INSERT INTO facts VALUES ('<member>', ..., <value>)
+  INSERT INTO facts VALUES ('<member>', ..., <value>)[, (...), ...]
+  Multi-row INSERTs take the batched write path (one lock per statement).
 meta:
   \stats   engine counters      \models      list models
   \health  model maintenance    \save F      snapshot database

@@ -57,6 +57,9 @@ type Advisor struct {
 	// component (Section IV-C.2).
 	prober       *asyncProber
 	proberClosed bool
+
+	// met holds the atomic per-phase counters behind Advisor.Metrics.
+	met advisorMetrics
 }
 
 // Run executes the advisor until a stop criterion fires and returns the
@@ -369,6 +372,8 @@ func (a *Advisor) Step() (done bool, err error) {
 	ranked := a.rank(positives)
 	snap.Candidates = len(ranked)
 	a.lastSelTime = time.Since(selStart)
+	a.met.selectionNanos.Add(a.lastSelTime.Nanoseconds())
+	a.met.candidates.Add(int64(len(ranked)))
 
 	// --- Phase 2: evaluation -----------------------------------------
 	evalStart := time.Now()
@@ -379,9 +384,15 @@ func (a *Advisor) Step() (done bool, err error) {
 		deleted = a.tryDeletion(negatives)
 	}
 	a.lastEvalTime = time.Since(evalStart)
+	a.met.evalNanos.Add(a.lastEvalTime.Nanoseconds())
+	a.met.modelsBuilt.Add(int64(created))
+	a.met.accepted.Add(int64(accepted))
+	a.met.rejected.Add(int64(rejectedN))
+	a.met.deleted.Add(int64(deleted))
 	snap.Created, snap.Accepted, snap.Rejected, snap.Deleted = created, accepted, rejectedN, deleted
 
 	// --- Phase 3: control --------------------------------------------
+	ctlStart := time.Now()
 	improvement := errBefore - a.cfg.Error()
 	a.control(len(ranked), accepted, rejectedN, improvement)
 	if a.opts.AsyncMultiSource {
@@ -390,6 +401,8 @@ func (a *Advisor) Step() (done bool, err error) {
 	} else {
 		a.multiSourceProbes()
 	}
+	a.met.controlNanos.Add(time.Since(ctlStart).Nanoseconds())
+	a.met.iterations.Add(1)
 
 	// --- Phase 4: output ----------------------------------------------
 	snap.Error = a.cfg.Error()

@@ -63,6 +63,9 @@ func (a *Advisor) startAsyncProber() {
 				continue
 			}
 			plan := a.planProbe(rng, modelIDs)
+			if plan.target >= 0 {
+				a.met.probesPlanned.Add(1)
+			}
 			select {
 			case <-p.stop:
 				return
@@ -109,6 +112,7 @@ func (a *Advisor) drainAsyncProbes() {
 			}
 			if sc, e, ok := a.evalScheme(plan.target, plan.sources); ok && e < a.currentErr(sc.Target) {
 				a.setScheme(sc, e)
+				a.met.probesApplied.Add(1)
 			}
 		default:
 			return

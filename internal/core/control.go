@@ -90,6 +90,7 @@ func (a *Advisor) multiSourceProbes() {
 		}
 		plans = append(plans, probe{target: t, sources: srcs})
 	}
+	a.met.probesPlanned.Add(int64(len(plans)))
 
 	type outcome struct {
 		ok     bool
@@ -113,6 +114,7 @@ func (a *Advisor) multiSourceProbes() {
 	for _, r := range results {
 		if r.ok && r.err < a.currentErr(r.scheme.Target) {
 			a.setScheme(r.scheme, r.err)
+			a.met.probesApplied.Add(1)
 		}
 	}
 }

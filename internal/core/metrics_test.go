@@ -1,0 +1,93 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdvisorMetricsAccounting(t *testing.T) {
+	g := seasonalCube(t, 8)
+	adv, err := NewAdvisor(g, Options{Seed: 8, Parallelism: 2, MultiSourceProbes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := adv.Metrics(); m.Iterations != 0 || m.ModelsBuilt != 0 {
+		t.Fatalf("fresh advisor reports prior work: %+v", m)
+	}
+	steps := 0
+	for steps < 6 {
+		done, err := adv.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if done {
+			break
+		}
+	}
+	m := adv.Metrics()
+	if m.Iterations != int64(steps) {
+		t.Fatalf("iterations = %d, want %d", m.Iterations, steps)
+	}
+	if m.Candidates == 0 {
+		t.Fatal("no candidates recorded")
+	}
+	if m.ModelsBuilt == 0 {
+		t.Fatal("no evaluation models recorded")
+	}
+	if m.Accepted+m.Rejected == 0 {
+		t.Fatal("no acceptance decisions recorded")
+	}
+	if m.Accepted+m.Rejected > m.ModelsBuilt {
+		t.Fatalf("decisions (%d+%d) exceed models built (%d)",
+			m.Accepted, m.Rejected, m.ModelsBuilt)
+	}
+	if m.SelectionTime <= 0 || m.EvalTime <= 0 {
+		t.Fatalf("phase times not recorded: %+v", m)
+	}
+	if m.ProbesApplied > m.ProbesPlanned {
+		t.Fatalf("applied %d probes but planned only %d", m.ProbesApplied, m.ProbesPlanned)
+	}
+	s := m.String()
+	for _, want := range []string{"iterations=", "candidates=", "selection-time="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestAdvisorMetricsConcurrentSnapshot reads snapshots while Run drives the
+// search (with the async prober active); run under -race this proves the
+// surface is safe for monitoring goroutines.
+func TestAdvisorMetricsConcurrentSnapshot(t *testing.T) {
+	g := seasonalCube(t, 9)
+	adv, err := NewAdvisor(g, Options{Seed: 9, Parallelism: 2, MultiSourceProbes: 2, AsyncMultiSource: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adv.Close()
+	stop := make(chan struct{})
+	got := make(chan AdvisorMetrics, 1)
+	go func() {
+		var last AdvisorMetrics
+		for {
+			select {
+			case <-stop:
+				got <- last
+				return
+			default:
+				last = adv.Metrics()
+			}
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		if done, err := adv.Step(); err != nil || done {
+			break
+		}
+	}
+	close(stop)
+	final := <-got
+	if final.Iterations > adv.Metrics().Iterations {
+		t.Fatal("snapshot ran ahead of the advisor")
+	}
+}

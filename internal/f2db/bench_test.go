@@ -18,6 +18,13 @@ import (
 // the advisor finishes quickly.
 func benchEngine(b *testing.B, strategy InvalidationStrategy) (*DB, *cube.Graph) {
 	b.Helper()
+	return benchEngineOpts(b, Options{Strategy: strategy})
+}
+
+// benchEngineOpts is benchEngine with full Options control, so benchmarks
+// can disable the plan cache and the forecast memo table individually.
+func benchEngineOpts(b *testing.B, opts Options) (*DB, *cube.Graph) {
+	b.Helper()
 	rng := rand.New(rand.NewSource(7))
 	loc, err := cube.NewHierarchy("location", []string{"city", "region"},
 		[]map[string]string{{"C1": "R1", "C2": "R1", "C3": "R1", "C4": "R2", "C5": "R2", "C6": "R2"}})
@@ -45,7 +52,7 @@ func benchEngine(b *testing.B, strategy InvalidationStrategy) (*DB, *cube.Graph)
 	if err != nil {
 		b.Fatal(err)
 	}
-	db, err := Open(g, cfg, Options{Strategy: strategy})
+	db, err := Open(g, cfg, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -148,4 +155,105 @@ func BenchmarkMixedQueryInsertParallel(b *testing.B) {
 	b.StopTimer()
 	close(stop)
 	wg.Wait()
+}
+
+// benchQueries is the repeated-statement working set shared by the cached /
+// uncached SQL benchmarks (same texts as BenchmarkQuerySQLParallel).
+var benchQueries = []string{
+	"SELECT time, SUM(m) FROM facts GROUP BY time AS OF now() + '2 steps'",
+	"SELECT time, SUM(m) FROM facts WHERE region = 'R1' GROUP BY time AS OF now() + '1 step'",
+	"SELECT time, m FROM facts WHERE product = 'P1' AND city = 'C4' AS OF now() + '3 steps'",
+	"SELECT time, AVG(m) FROM facts WHERE product = 'P2' GROUP BY time AS OF now() + '2 steps'",
+}
+
+// BenchmarkQuerySQLCached measures the steady-state fast path on a single
+// goroutine: every statement hits the plan cache, every forecast hits the
+// memo table.
+func BenchmarkQuerySQLCached(b *testing.B) {
+	db, _ := benchEngine(b, nil)
+	for _, q := range benchQueries { // warm both caches
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(benchQueries[i%len(benchQueries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuerySQLUncached is the same workload with both caches disabled:
+// the full parse → rewrite → derive path on every statement. The gap to
+// BenchmarkQuerySQLCached is the fast path's gain.
+func BenchmarkQuerySQLUncached(b *testing.B) {
+	db, _ := benchEngineOpts(b, Options{PlanCacheSize: -1, ForecastCacheSize: -1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(benchQueries[i%len(benchQueries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCacheThrash drives more distinct statement texts than the
+// plan cache holds, so every access misses and evicts: the worst case pays
+// the LRU bookkeeping on top of a full parse.
+func BenchmarkPlanCacheThrash(b *testing.B) {
+	db, _ := benchEngineOpts(b, Options{PlanCacheSize: 8})
+	texts := make([]string, 32)
+	horizons := []string{"1 step", "2 steps", "3 steps", "4 steps"}
+	regions := []string{"R1", "R2"}
+	aggs := []string{"SUM", "AVG"}
+	cities := []string{"C1", "C6"}
+	for i := range texts {
+		if i%2 == 0 {
+			texts[i] = "SELECT time, " + aggs[i/16] + "(m) FROM facts WHERE region = '" +
+				regions[(i/2)%2] + "' GROUP BY time AS OF now() + '" + horizons[(i/4)%4] + "'"
+		} else {
+			texts[i] = "SELECT time, m FROM facts WHERE product = 'P" + string(rune('1'+i%3)) +
+				"' AND city = '" + cities[(i/2)%2] + "' AS OF now() + '" + horizons[(i/4)%4] + "'"
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(texts[i%len(texts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if h := db.Metrics().PlanCacheHits; h != 0 {
+		b.Fatalf("thrash pattern hit the cache %d times", h)
+	}
+}
+
+// BenchmarkInsertBase advances one full maintenance batch per op through
+// the per-point API: one lock round-trip per base value.
+func BenchmarkInsertBase(b *testing.B) {
+	db, g := benchEngine(b, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, id := range g.BaseIDs {
+			if err := db.InsertBase(id, 50+float64(i%10)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkInsertBatch advances one full maintenance batch per op through
+// InsertBatch: the engine write lock is taken once for the whole batch.
+func BenchmarkInsertBatch(b *testing.B) {
+	db, g := benchEngine(b, nil)
+	batch := make(map[int]float64, len(g.BaseIDs))
+	for _, id := range g.BaseIDs {
+		batch[id] = 50
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.InsertBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -126,6 +127,16 @@ type DB struct {
 	// precomputed at Open so the read path never mutates shared state.
 	baseCounts []int
 
+	// plans is the LRU of parsed-and-resolved SQL plans (nil when
+	// disabled); fc is the epoch-guarded forecast memo table (nil when
+	// disabled). See plancache.go / fccache.go.
+	plans *planCache
+	fc    *fcCache
+	// deps lists, per model node, the targets whose derivation scheme
+	// reads that model (excluding the node itself): re-estimating the
+	// model invalidates exactly these nodes' memoized forecasts.
+	deps map[int][]int
+
 	met engineMetrics
 }
 
@@ -135,7 +146,19 @@ type Options struct {
 	StepDuration time.Duration
 	// Strategy is the model invalidation strategy; default Never.
 	Strategy InvalidationStrategy
+	// PlanCacheSize bounds the LRU of parsed-and-resolved SQL query plans.
+	// 0 selects the default (256); a negative value disables plan caching.
+	PlanCacheSize int
+	// ForecastCacheSize bounds the epoch-invalidated forecast memo table.
+	// 0 selects the default (4096); a negative value disables memoization.
+	ForecastCacheSize int
 }
+
+// Default cache capacities applied by Open when the option is zero.
+const (
+	defaultPlanCacheSize     = 256
+	defaultForecastCacheSize = 4096
+)
 
 // Open creates an engine over the graph and loads the model configuration
 // produced by the advisor (or one of the baselines).
@@ -183,6 +206,30 @@ func Open(g *cube.Graph, cfg *core.Configuration, opts Options) (*DB, error) {
 		}
 		db.baseCounts[id] = c
 	}
+	if opts.PlanCacheSize >= 0 {
+		size := opts.PlanCacheSize
+		if size == 0 {
+			size = defaultPlanCacheSize
+		}
+		db.plans = newPlanCache(size)
+	}
+	if opts.ForecastCacheSize >= 0 {
+		size := opts.ForecastCacheSize
+		if size == 0 {
+			size = defaultForecastCacheSize
+		}
+		db.fc = newFcCache(g.NumNodes(), size)
+		// Invert the scheme table: deps[s] = targets deriving from model
+		// s, so a re-estimation of s invalidates exactly those epochs.
+		db.deps = make(map[int][]int, len(cfg.Models))
+		for t, sc := range cfg.Schemes {
+			for _, s := range sc.Sources {
+				if s != t {
+					db.deps[s] = append(db.deps[s], t)
+				}
+			}
+		}
+	}
 	return db, nil
 }
 
@@ -215,27 +262,74 @@ var errNeedsReestimate = errors.New("f2db: model awaits re-estimation")
 // needs a re-estimation upgrades to the write lock.
 func (db *DB) ForecastNode(nodeID, h int) ([]float64, error) {
 	db.mu.RLock()
-	fc, err := db.forecastLocked(nodeID, h, false)
+	fc, _, _, err := db.forecastIntervalLocked(nodeID, h, 0, false)
 	db.mu.RUnlock()
 	if err != errNeedsReestimate {
 		return fc, err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.forecastLocked(nodeID, h, true)
+	fc, _, _, err = db.forecastIntervalLocked(nodeID, h, 0, true)
+	return fc, err
 }
 
-// forecastLocked derives the node forecast. The caller holds the read lock
-// (exclusive=false) or the write lock (exclusive=true); only the exclusive
-// variant may re-estimate invalidated source models.
-func (db *DB) forecastLocked(nodeID, h int, exclusive bool) (fc []float64, err error) {
+// forecastIntervalLocked answers a node forecast (with interval bounds when
+// conf > 0) through the memo table: a hit returns the cached slices without
+// touching any model; a miss derives the forecast and memoizes it under the
+// node's current epoch. Metrics (query count, latency, scheme hits, cache
+// counters) are recorded here so hits and misses are accounted uniformly.
+// The caller holds the read lock (exclusive=false) or the write lock
+// (exclusive=true); only the exclusive variant may re-estimate invalidated
+// source models — the shared variant reports errNeedsReestimate instead,
+// which is metered as a cache bypass (the query bypasses the memo table to
+// take the lazy re-estimation path), not a miss.
+func (db *DB) forecastIntervalLocked(nodeID, h int, conf float64, exclusive bool) (point, lo, hi []float64, err error) {
 	start := time.Now()
 	defer func() {
 		if err == errNeedsReestimate {
 			return // retried under the write lock; that attempt is counted
 		}
 		db.met.recordQuery(time.Since(start))
+		if err == nil {
+			if sc, ok := db.cfg.Schemes[nodeID]; ok {
+				db.met.recordSchemeHit(sc.Kind)
+			}
+		}
 	}()
+	key := fcKey{node: nodeID, h: h, conf: conf}
+	if db.fc != nil {
+		if p, l, u, ok := db.fc.get(key); ok {
+			db.met.fcHits.Add(1)
+			return p, l, u, nil
+		}
+	}
+	point, lo, hi, err = db.deriveInterval(nodeID, h, conf, exclusive)
+	if err == errNeedsReestimate {
+		if db.fc != nil {
+			db.met.fcBypasses.Add(1)
+		}
+		return nil, nil, nil, err
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if db.fc != nil {
+		if !exclusive {
+			// The exclusive retry continues a bypass already metered
+			// above; only genuine shared-path recomputations count as
+			// misses.
+			db.met.fcMisses.Add(1)
+		}
+		if ev := db.fc.put(key, point, lo, hi); ev > 0 {
+			db.met.fcEvictions.Add(ev)
+		}
+	}
+	return point, lo, hi, nil
+}
+
+// deriveForecast derives the node forecast from live model state. Locking
+// contract as forecastIntervalLocked; no metrics, no memoization.
+func (db *DB) deriveForecast(nodeID, h int, exclusive bool) (fc []float64, err error) {
 	sc, ok := db.cfg.Schemes[nodeID]
 	if !ok {
 		return nil, fmt.Errorf("f2db: node %d has no derivation scheme", nodeID)
@@ -256,7 +350,6 @@ func (db *DB) forecastLocked(nodeID, h int, exclusive bool) (fc []float64, err e
 		}
 		fcs[i] = m.Forecast(h)
 	}
-	db.met.recordSchemeHit(sc.Kind)
 	// Use the incrementally maintained weight.
 	liveSc := sc
 	if st, ok := db.schemes[nodeID]; ok && st.hSources != 0 && sc.Kind != derivation.Direct {
@@ -265,17 +358,17 @@ func (db *DB) forecastLocked(nodeID, h int, exclusive bool) (fc []float64, err e
 	return liveSc.Apply(fcs)
 }
 
-// forecastIntervalLocked returns the point forecast of a node and, when
-// conf > 0 (a percentage, e.g. 95), lower/upper prediction-interval bounds.
-// Locking contract as forecastLocked. The interval assumes independent,
-// normally distributed residuals at the scheme's sources; each source
-// contributes its one-step residual variance grown by its model's horizon
-// profile (ψ weights for ARIMA, class-1 state-space formulas for
-// exponential smoothing):
+// deriveInterval returns the point forecast of a node and, when conf > 0
+// (a percentage, e.g. 95), lower/upper prediction-interval bounds. Locking
+// contract as forecastIntervalLocked; no metrics, no memoization. The
+// interval assumes independent, normally distributed residuals at the
+// scheme's sources; each source contributes its one-step residual variance
+// grown by its model's horizon profile (ψ weights for ARIMA, class-1
+// state-space formulas for exponential smoothing):
 //
 //	spread(step) = z · |k| · sqrt( Σ_s σ_s² · scale_s(step)² )
-func (db *DB) forecastIntervalLocked(nodeID, h int, conf float64, exclusive bool) (point, lo, hi []float64, err error) {
-	point, err = db.forecastLocked(nodeID, h, exclusive)
+func (db *DB) deriveInterval(nodeID, h int, conf float64, exclusive bool) (point, lo, hi []float64, err error) {
+	point, err = db.deriveForecast(nodeID, h, exclusive)
 	if err != nil || conf <= 0 {
 		return point, nil, nil, err
 	}
@@ -307,7 +400,9 @@ func (db *DB) forecastIntervalLocked(nodeID, h int, conf float64, exclusive bool
 }
 
 // reestimate re-fits a model's parameters on the node's full current
-// history. Caller holds the write lock.
+// history and bumps the epoch of the model node and of every node whose
+// derivation scheme reads the model, invalidating their memoized forecasts.
+// Caller holds the write lock.
 func (db *DB) reestimate(id int, m forecast.Model) error {
 	if err := m.Fit(db.graph.Nodes[id].Series); err != nil {
 		return fmt.Errorf("f2db: re-estimating node %d: %w", id, err)
@@ -317,6 +412,13 @@ func (db *DB) reestimate(id int, m forecast.Model) error {
 	st.UpdatesSinceFit = 0
 	st.RollingError = 0
 	db.met.reestimations.Add(1)
+	if db.fc != nil {
+		bumped := db.fc.bump(id)
+		for _, t := range db.deps[id] {
+			bumped += db.fc.bump(t)
+		}
+		db.met.epochBumps.Add(bumped)
+	}
 	return nil
 }
 
@@ -326,20 +428,29 @@ func (db *DB) reestimate(id int, m forecast.Model) error {
 // graph and all models and derivation weights are updated incrementally
 // (Section V).
 func (db *DB) Insert(members []string, value float64) error {
+	id, err := db.resolveBase(members)
+	if err != nil {
+		return err
+	}
+	return db.InsertBase(id, value)
+}
+
+// resolveBase maps finest-level member values to their base node ID. The
+// coordinate index is immutable after construction; resolution needs no
+// lock.
+func (db *DB) resolveBase(members []string) (int, error) {
 	coord := make(cube.Coord, len(db.graph.Dims))
 	for d := range db.graph.Dims {
 		if d >= len(members) {
-			return fmt.Errorf("f2db: insert needs %d member values, got %d", len(db.graph.Dims), len(members))
+			return 0, fmt.Errorf("f2db: insert needs %d member values, got %d", len(db.graph.Dims), len(members))
 		}
 		coord[d] = cube.Cell{Level: 0, Value: members[d]}
 	}
-	// The coordinate index is immutable after construction; resolving the
-	// node needs no lock.
 	n := db.graph.Lookup(coord)
 	if n == nil || !n.IsBase {
-		return fmt.Errorf("f2db: unknown base series %v", members)
+		return 0, fmt.Errorf("f2db: unknown base series %v", members)
 	}
-	return db.InsertBase(n.ID, value)
+	return n.ID, nil
 }
 
 // InsertBase is Insert addressed by base node ID (fast path for generated
@@ -377,6 +488,67 @@ func (db *DB) InsertBase(baseID int, value float64) (err error) {
 		}
 		return db.advanceIfComplete()
 	}
+}
+
+// InsertBatch adds new measure values for many base series (keyed by base
+// node ID) in one call, taking the pending-batch lock once instead of once
+// per value; whenever the pending batch becomes complete, time advances
+// under a single acquisition of the engine write lock. This is the write
+// path for bulk producers — the workload generator, snapshot restore and
+// multi-row SQL INSERTs — where per-value InsertBase locking dominates.
+//
+// Values are applied in ascending node-ID order. A value for a base series
+// that already has a pending value in the current (incomplete) batch is a
+// duplicate error, exactly as with InsertBase; values applied before the
+// error sticks remain pending.
+func (db *DB) InsertBatch(values map[int]float64) (err error) {
+	start := time.Now()
+	applied := 0
+	defer func() {
+		db.met.inserts.Add(int64(applied))
+		db.met.batchInserts.Add(1)
+		db.met.maintainNanos.Add(time.Since(start).Nanoseconds())
+	}()
+	ids := make([]int, 0, len(values))
+	for id := range values {
+		if id < 0 || id >= db.graph.NumNodes() || !db.graph.Nodes[id].IsBase {
+			return fmt.Errorf("f2db: InsertBatch: %d is not a base node", id)
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	i := 0
+	for i < len(ids) {
+		db.pendingMu.Lock()
+		for i < len(ids) {
+			id := ids[i]
+			if _, dup := db.pending[id]; dup {
+				break
+			}
+			db.pending[id] = values[id]
+			applied++
+			i++
+			if len(db.pending) == len(db.graph.BaseIDs) {
+				break
+			}
+		}
+		complete := len(db.pending) == len(db.graph.BaseIDs)
+		blocked := i < len(ids) && !complete
+		db.pendingMu.Unlock()
+		if blocked {
+			return fmt.Errorf("f2db: duplicate insert for base node %d in current batch", ids[i])
+		}
+		if complete {
+			// Either this call completed the batch, or it ran into its own
+			// earlier value re-offered against an already-complete batch
+			// another inserter has not applied yet: apply (or help apply)
+			// the advance, then continue with the remaining values.
+			if err := db.advanceIfComplete(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // advanceIfComplete applies the pending batch if it is (still) complete.
@@ -435,6 +607,12 @@ func (db *DB) advanceBatch(batch map[int]float64) error {
 		for _, s := range sc.Sources {
 			st.hSources += db.graph.Nodes[s].Series.Values[t]
 		}
+	}
+	// A time advance changes every node's series, every model's state and
+	// the live derivation weights: every memoized forecast is stale. One
+	// atomic increment per node invalidates them all without a sweep.
+	if db.fc != nil {
+		db.met.epochBumps.Add(db.fc.bumpAll())
 	}
 	return nil
 }

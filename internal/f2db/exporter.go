@@ -1,0 +1,90 @@
+package f2db
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+)
+
+// Scrape-friendly export of the engine counters (ROADMAP item): the
+// Metrics() snapshot rendered in the Prometheus text exposition format
+// (version 0.0.4), which expvar-style collectors and Prometheus scrapers
+// both ingest. The handler is lock-free like Metrics itself, so scraping at
+// any rate never blocks queries or maintenance.
+
+// MetricsHandler returns an http.Handler serving the engine metrics in
+// Prometheus text format. Mount it wherever the serving binary exposes
+// observability endpoints (f2dbcli: the -metrics flag):
+//
+//	mux.Handle("/metrics", db.MetricsHandler())
+func (db *DB) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, db)
+	})
+}
+
+func writePrometheus(w http.ResponseWriter, db *DB) {
+	m := db.Metrics()
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("f2db_queries_total", "Answered node forecasts.", m.Queries)
+	counter("f2db_inserts_total", "Base series values inserted.", m.Inserts)
+	counter("f2db_insert_batches_total", "InsertBatch calls.", m.BatchInserts)
+	counter("f2db_maintenance_batches_total", "Completed time advances.", m.Batches)
+	counter("f2db_reestimations_total", "Model parameter re-estimations.", m.Reestimations)
+	seconds := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	seconds("f2db_query_seconds_total", "Engine-side wall time answering queries.", m.QueryTime.Seconds())
+	seconds("f2db_maintain_seconds_total", "Engine-side wall time on insert maintenance.", m.MaintainTime.Seconds())
+
+	// Per-derivation-kind forecast counts as one labeled metric family.
+	if len(m.SchemeHits) > 0 {
+		fmt.Fprintf(w, "# HELP f2db_scheme_hits_total Answered forecasts by derivation kind.\n")
+		fmt.Fprintf(w, "# TYPE f2db_scheme_hits_total counter\n")
+		kinds := make([]string, 0, len(m.SchemeHits))
+		for k := range m.SchemeHits {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(w, "f2db_scheme_hits_total{kind=%q} %d\n", k, m.SchemeHits[k])
+		}
+	}
+
+	counter("f2db_plan_cache_hits_total", "SQL statements answered from a cached plan.", m.PlanCacheHits)
+	counter("f2db_plan_cache_misses_total", "SQL statements parsed and planned.", m.PlanCacheMisses)
+	counter("f2db_plan_cache_evictions_total", "Plans evicted from the LRU.", m.PlanCacheEvictions)
+	gauge("f2db_plan_cache_entries", "Plans currently cached.", int64(m.PlanCacheSize))
+
+	counter("f2db_forecast_cache_hits_total", "Forecasts served from the memo table.", m.ForecastCacheHits)
+	counter("f2db_forecast_cache_misses_total", "Forecasts recomputed and memoized.", m.ForecastCacheMisses)
+	counter("f2db_forecast_cache_bypasses_total", "Queries that took the lazy re-estimation path.", m.ForecastCacheBypasses)
+	counter("f2db_forecast_cache_evictions_total", "Memo entries evicted.", m.ForecastCacheEvictions)
+	gauge("f2db_forecast_cache_entries", "Memo entries currently held.", int64(m.ForecastCacheSize))
+	counter("f2db_epoch_bumps_total", "Node epoch increments by maintenance and re-estimation.", m.EpochBumps)
+
+	gauge("f2db_pending_inserts", "Values in the current incomplete batch.", int64(db.Stats().PendingInserts))
+	gauge("f2db_invalid_models", "Models awaiting re-estimation.", int64(db.InvalidCount()))
+
+	// Query latency as a cumulative Prometheus histogram. The engine's
+	// buckets are log2 upper bounds in nanoseconds; le labels are seconds.
+	lat := m.QueryLatency
+	fmt.Fprintf(w, "# HELP f2db_query_latency_seconds Per-forecast latency.\n")
+	fmt.Fprintf(w, "# TYPE f2db_query_latency_seconds histogram\n")
+	var cum int64
+	for _, b := range lat.Buckets {
+		cum += b.Count
+		fmt.Fprintf(w, "f2db_query_latency_seconds_bucket{le=%q} %d\n",
+			fmt.Sprintf("%g", b.Le.Seconds()), cum)
+	}
+	fmt.Fprintf(w, "f2db_query_latency_seconds_bucket{le=\"+Inf\"} %d\n", lat.Count)
+	fmt.Fprintf(w, "f2db_query_latency_seconds_sum %g\n", m.QueryTime.Seconds())
+	fmt.Fprintf(w, "f2db_query_latency_seconds_count %d\n", lat.Count)
+}

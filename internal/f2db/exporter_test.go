@@ -1,0 +1,88 @@
+package f2db
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestMetricsHandlerPrometheus(t *testing.T) {
+	db, g, _ := testEngine(t, nil)
+	q := "SELECT time, SUM(m) FROM facts GROUP BY time AS OF now() + '2 steps'"
+	for i := 0; i < 3; i++ {
+		if _, err := db.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.InsertBatch(fullBatch(db, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range g.BaseIDs[:2] {
+		if err := db.InsertBase(id, 9); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	db.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+
+	for metric, want := range map[string]string{
+		"f2db_queries_total":               "3",
+		"f2db_inserts_total":               fmt.Sprintf("%d", len(g.BaseIDs)+2),
+		"f2db_insert_batches_total":        "1",
+		"f2db_maintenance_batches_total":   "1",
+		"f2db_plan_cache_hits_total":       "2",
+		"f2db_plan_cache_misses_total":     "1",
+		"f2db_plan_cache_entries":          "1",
+		"f2db_forecast_cache_hits_total":   "2",
+		"f2db_pending_inserts":             "2",
+		"f2db_query_latency_seconds_count": "3",
+	} {
+		re := regexp.MustCompile(`(?m)^` + metric + ` (\S+)$`)
+		match := re.FindStringSubmatch(body)
+		if match == nil {
+			t.Fatalf("metric %s missing from exposition:\n%s", metric, body)
+		}
+		if match[1] != want {
+			t.Errorf("%s = %s, want %s", metric, match[1], want)
+		}
+	}
+
+	// Every exposed family carries HELP and TYPE lines.
+	for _, family := range []string{
+		"f2db_queries_total", "f2db_epoch_bumps_total", "f2db_query_latency_seconds",
+	} {
+		if !strings.Contains(body, "# HELP "+family+" ") {
+			t.Errorf("missing HELP for %s", family)
+		}
+		if !strings.Contains(body, "# TYPE "+family+" ") {
+			t.Errorf("missing TYPE for %s", family)
+		}
+	}
+
+	// The labeled scheme-hit family and the histogram's +Inf bucket are
+	// well-formed.
+	if !regexp.MustCompile(`(?m)^f2db_scheme_hits_total\{kind="[a-z]+"\} \d+$`).MatchString(body) {
+		t.Error("scheme-hit family missing or malformed")
+	}
+	if !regexp.MustCompile(`(?m)^f2db_query_latency_seconds_bucket\{le="\+Inf"\} 3$`).MatchString(body) {
+		t.Error("histogram +Inf bucket missing or wrong")
+	}
+	// Cumulative buckets never decrease.
+	bucketRe := regexp.MustCompile(`(?m)^f2db_query_latency_seconds_bucket\{le="[^+]+"\} (\d+)$`)
+	prev := int64(-1)
+	for _, m := range bucketRe.FindAllStringSubmatch(body, -1) {
+		var v int64
+		fmt.Sscanf(m[1], "%d", &v)
+		if v < prev {
+			t.Fatalf("histogram buckets not cumulative:\n%s", body)
+		}
+		prev = v
+	}
+}

@@ -108,12 +108,23 @@ const derivationKinds = int(derivation.General) + 1
 type engineMetrics struct {
 	queries       atomic.Int64
 	inserts       atomic.Int64
+	batchInserts  atomic.Int64
 	batches       atomic.Int64
 	reestimations atomic.Int64
 	queryNanos    atomic.Int64
 	maintainNanos atomic.Int64
 	schemeHits    [derivationKinds]atomic.Int64
 	latency       histogram
+
+	// Read-fast-path counters: SQL plan cache and forecast memo table.
+	planHits      atomic.Int64
+	planMisses    atomic.Int64
+	planEvictions atomic.Int64
+	fcHits        atomic.Int64
+	fcMisses      atomic.Int64
+	fcBypasses    atomic.Int64
+	fcEvictions   atomic.Int64
+	epochBumps    atomic.Int64
 }
 
 func (m *engineMetrics) recordQuery(d time.Duration) {
@@ -150,6 +161,30 @@ type Metrics struct {
 	SchemeHits map[string]int64
 	// QueryLatency is the log-bucketed per-forecast latency histogram.
 	QueryLatency LatencySnapshot
+
+	// BatchInserts counts InsertBatch calls (Inserts counts individual
+	// values regardless of the API they arrived through).
+	BatchInserts int64
+
+	// Plan-cache counters: SQL statements answered from a cached plan
+	// (skipping parse and node resolution), plans parsed and cached, and
+	// LRU evictions. PlanCacheSize is the current entry count.
+	PlanCacheHits      int64
+	PlanCacheMisses    int64
+	PlanCacheEvictions int64
+	PlanCacheSize      int
+
+	// Forecast-memo counters: forecasts served from the epoch-guarded
+	// memo table, recomputations, queries that bypassed the table to take
+	// the lazy re-estimation path, evicted entries, and epoch increments
+	// performed by maintenance/re-estimation. ForecastCacheSize is the
+	// current entry count (live and stale).
+	ForecastCacheHits      int64
+	ForecastCacheMisses    int64
+	ForecastCacheBypasses  int64
+	ForecastCacheEvictions int64
+	ForecastCacheSize      int
+	EpochBumps             int64
 }
 
 // Metrics returns a lock-free snapshot of the engine counters. Unlike
@@ -159,12 +194,29 @@ func (db *DB) Metrics() Metrics {
 	m := Metrics{
 		Queries:       db.met.queries.Load(),
 		Inserts:       db.met.inserts.Load(),
+		BatchInserts:  db.met.batchInserts.Load(),
 		Batches:       db.met.batches.Load(),
 		Reestimations: db.met.reestimations.Load(),
 		QueryTime:     time.Duration(db.met.queryNanos.Load()),
 		MaintainTime:  time.Duration(db.met.maintainNanos.Load()),
 		SchemeHits:    make(map[string]int64, derivationKinds),
 		QueryLatency:  db.met.latency.snapshot(),
+
+		PlanCacheHits:      db.met.planHits.Load(),
+		PlanCacheMisses:    db.met.planMisses.Load(),
+		PlanCacheEvictions: db.met.planEvictions.Load(),
+
+		ForecastCacheHits:      db.met.fcHits.Load(),
+		ForecastCacheMisses:    db.met.fcMisses.Load(),
+		ForecastCacheBypasses:  db.met.fcBypasses.Load(),
+		ForecastCacheEvictions: db.met.fcEvictions.Load(),
+		EpochBumps:             db.met.epochBumps.Load(),
+	}
+	if db.plans != nil {
+		m.PlanCacheSize = db.plans.len()
+	}
+	if db.fc != nil {
+		m.ForecastCacheSize = db.fc.size()
 	}
 	for i := 0; i < derivationKinds; i++ {
 		if c := db.met.schemeHits[i].Load(); c > 0 {
@@ -180,6 +232,11 @@ func (m Metrics) String() string {
 	out := fmt.Sprintf("queries=%d inserts=%d batches=%d reestimations=%d\n",
 		m.Queries, m.Inserts, m.Batches, m.Reestimations)
 	out += fmt.Sprintf("query-time=%v maintenance-time=%v\n", m.QueryTime, m.MaintainTime)
+	out += fmt.Sprintf("plan-cache: hits=%d misses=%d evictions=%d size=%d\n",
+		m.PlanCacheHits, m.PlanCacheMisses, m.PlanCacheEvictions, m.PlanCacheSize)
+	out += fmt.Sprintf("forecast-cache: hits=%d misses=%d bypasses=%d evictions=%d size=%d epoch-bumps=%d\n",
+		m.ForecastCacheHits, m.ForecastCacheMisses, m.ForecastCacheBypasses,
+		m.ForecastCacheEvictions, m.ForecastCacheSize, m.EpochBumps)
 	if len(m.SchemeHits) > 0 {
 		out += "scheme-hits:"
 		for _, kind := range []string{"direct", "aggregation", "disaggregation", "general"} {

@@ -90,12 +90,18 @@ func LoadDatabase(r io.Reader, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Restore the half-filled insert batch through the batched write path:
+	// one lock acquisition for the whole image instead of one per value.
+	pending := make(map[int]float64, len(img.Pending))
 	for key, v := range img.Pending {
 		n := g.LookupKey(key)
 		if n == nil {
 			return nil, fmt.Errorf("f2db: pending insert for unknown node %q", key)
 		}
-		if err := db.InsertBase(n.ID, v); err != nil {
+		pending[n.ID] = v
+	}
+	if len(pending) > 0 {
+		if err := db.InsertBatch(pending); err != nil {
 			return nil, err
 		}
 	}

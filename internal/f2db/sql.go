@@ -65,10 +65,12 @@ type Result struct {
 
 // Exec executes a statement that is not a query. Supported:
 //
-//	INSERT INTO facts VALUES ('<member1>', ..., <measure>)
+//	INSERT INTO facts VALUES ('<member1>', ..., <measure>)[, (...), ...]
 //
 // with one member value per dimension in schema order. Inserts are batched
-// by the maintenance processor (Section V).
+// by the maintenance processor (Section V); a multi-row INSERT takes the
+// batched write path (InsertBatch), acquiring the engine locks once for the
+// whole statement instead of once per row.
 func (db *DB) Exec(sql string) error {
 	toks, err := lex(sql)
 	if err != nil {
@@ -87,114 +89,198 @@ func (db *DB) Exec(sql string) error {
 	if err := p.expectKw("values"); err != nil {
 		return err
 	}
-	if err := p.expectPunct("("); err != nil {
-		return err
+	type insertRow struct {
+		members []string
+		value   float64
 	}
-	var members []string
-	var value float64
-	var haveValue bool
+	var rows []insertRow
 	for {
-		t := p.next()
-		switch t.kind {
-		case tokString:
-			if haveValue {
-				return fmt.Errorf("f2db: member value %q after measure", t.text)
-			}
-			members = append(members, t.text)
-		case tokIdent:
-			v, err := strconv.ParseFloat(t.text, 64)
-			if err != nil {
-				return fmt.Errorf("f2db: expected numeric measure, got %q", t.text)
-			}
-			value = v
-			haveValue = true
-		default:
-			return fmt.Errorf("f2db: unexpected token %q in VALUES", t.text)
+		if err := p.expectPunct("("); err != nil {
+			return err
 		}
+		var row insertRow
+		haveValue := false
+		for {
+			t := p.next()
+			switch t.kind {
+			case tokString:
+				if haveValue {
+					return fmt.Errorf("f2db: member value %q after measure", t.text)
+				}
+				row.members = append(row.members, t.text)
+			case tokIdent:
+				v, err := strconv.ParseFloat(t.text, 64)
+				if err != nil {
+					return fmt.Errorf("f2db: expected numeric measure, got %q", t.text)
+				}
+				row.value = v
+				haveValue = true
+			default:
+				return fmt.Errorf("f2db: unexpected token %q in VALUES", t.text)
+			}
+			if p.peek().kind == tokPunct && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+		if !haveValue {
+			return fmt.Errorf("f2db: INSERT misses the measure value")
+		}
+		rows = append(rows, row)
 		if p.peek().kind == tokPunct && p.peek().text == "," {
 			p.next()
 			continue
 		}
 		break
 	}
-	if err := p.expectPunct(")"); err != nil {
-		return err
-	}
 	if p.peek().kind != tokEOF {
 		return fmt.Errorf("f2db: trailing input %q", p.peek().text)
 	}
-	if !haveValue {
-		return fmt.Errorf("f2db: INSERT misses the measure value")
+	if len(rows) == 1 {
+		return db.Insert(rows[0].members, rows[0].value)
 	}
-	return db.Insert(members, value)
+	// Multi-row statement: resolve every row to its base node up front so a
+	// malformed row rejects the whole statement, then batch-insert.
+	values := make(map[int]float64, len(rows))
+	for _, row := range rows {
+		id, err := db.resolveBase(row.members)
+		if err != nil {
+			return err
+		}
+		if _, dup := values[id]; dup {
+			return fmt.Errorf("f2db: duplicate row for base series %v in INSERT", row.members)
+		}
+		values[id] = row.value
+	}
+	return db.InsertBatch(values)
 }
 
 // Query parses and executes a (forecast) query. Queries constrained to one
 // coordinate return a single group; a GROUP BY over a hierarchy level
 // returns one group per member value at that level (drill-down).
 //
+// Repeated query texts skip the parse and rewrite phases entirely: planning
+// (lexing, parsing, node resolution, horizon translation) depends only on
+// immutable engine state, so the finished plan is kept in a small LRU keyed
+// by the whitespace-normalized query text and shared across goroutines.
+//
 // Queries execute under the engine's shared read lock and run concurrently
 // with each other; only a query that needs a lazy model re-estimation
 // retries under the exclusive write lock.
 func (db *DB) Query(sql string) (*Result, error) {
-	stmt, err := parseQuery(sql)
+	plan, err := db.planQuery(sql)
 	if err != nil {
 		return nil, err
 	}
 	db.mu.RLock()
-	res, err := db.execSelect(stmt, false)
+	res, err := db.execPlan(plan, false)
 	db.mu.RUnlock()
 	if err != errNeedsReestimate {
 		return res, err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.execSelect(stmt, true)
+	return db.execPlan(plan, true)
 }
 
-// execSelect resolves and executes a parsed SELECT. Locking contract as
-// forecastLocked: the caller holds the read lock, or the write lock when
-// exclusive is set.
-func (db *DB) execSelect(stmt *selectStmt, exclusive bool) (*Result, error) {
+// queryPlan is a fully resolved SELECT: the parsed statement, the graph
+// nodes it describes, the grouping member per node and the forecast horizon
+// in steps. Every field is immutable after construction, so a cached plan
+// is safe to execute from any number of goroutines. Planning needs no
+// engine lock: query rewrite only reads the graph structure and the
+// configuration's scheme table, both fixed while the engine is open.
+type queryPlan struct {
+	stmt    *selectStmt
+	nodes   []*cube.Node
+	keys    []string // pre-rendered node coordinate keys (Coord.Key is hot)
+	members []string
+	horizon int // forecast steps; 0 for historical queries
+}
+
+// planQuery returns the resolved plan for a query text, from the plan cache
+// when possible. Only successfully planned statements are cached; error
+// results are recomputed (they are not on the hot path).
+func (db *DB) planQuery(sql string) (*queryPlan, error) {
+	var key string
+	if db.plans != nil {
+		key = normalizeSQL(sql)
+		if plan, ok := db.plans.get(key); ok {
+			db.met.planHits.Add(1)
+			return plan, nil
+		}
+	}
+	stmt, err := parseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := db.buildPlan(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if db.plans != nil {
+		db.met.planMisses.Add(1)
+		if db.plans.put(key, plan) {
+			db.met.planEvictions.Add(1)
+		}
+	}
+	return plan, nil
+}
+
+// buildPlan rewrites a parsed SELECT into its plan: the referenced node
+// set (Section V: "a query is rewritten to the referenced node of the time
+// series graph") and the horizon in steps.
+func (db *DB) buildPlan(stmt *selectStmt) (*queryPlan, error) {
 	var err error
-	var nodes []*cube.Node
-	var members []string
+	plan := &queryPlan{stmt: stmt}
 	if stmt.groupLevel != "" {
-		nodes, members, err = db.resolveGroupNodes(stmt)
+		plan.nodes, plan.members, err = db.resolveGroupNodes(stmt)
 	} else {
 		var n *cube.Node
 		n, err = db.resolveNode(stmt)
-		nodes, members = []*cube.Node{n}, []string{""}
+		plan.nodes, plan.members = []*cube.Node{n}, []string{""}
 	}
 	if err != nil {
 		return nil, err
 	}
+	if stmt.horizon != "" && !stmt.explain {
+		plan.horizon, err = db.parseHorizon(stmt.horizon)
+		if err != nil {
+			return nil, err
+		}
+	}
+	plan.keys = make([]string, len(plan.nodes))
+	for i, n := range plan.nodes {
+		plan.keys[i] = n.Key(db.graph.Dims)
+	}
+	return plan, nil
+}
 
-	res := &Result{Node: nodes[0].ID, NodeKey: nodes[0].Key(db.graph.Dims)}
+// execPlan executes a resolved plan. Locking contract as
+// forecastIntervalLocked: the caller holds the read lock, or the write lock
+// when exclusive is set.
+func (db *DB) execPlan(plan *queryPlan, exclusive bool) (*Result, error) {
+	stmt := plan.stmt
+	res := &Result{Node: plan.nodes[0].ID, NodeKey: plan.keys[0]}
 	if stmt.explain || stmt.horizon == "" {
-		res.Plan = db.explainNode(nodes[0].ID)
+		res.Plan = db.explainNode(plan.nodes[0].ID)
 	}
 	if stmt.explain {
 		return res, nil
 	}
 	res.Forecast = stmt.horizon != ""
-
-	h := 0
-	if res.Forecast {
-		h, err = db.parseHorizon(stmt.horizon)
-		if err != nil {
-			return nil, err
-		}
-	}
-	for i, n := range nodes {
-		rows, err := db.buildRows(n, stmt, h, exclusive)
+	for i, n := range plan.nodes {
+		rows, err := db.buildRows(n, stmt, plan.horizon, exclusive)
 		if err != nil {
 			return nil, err
 		}
 		res.Groups = append(res.Groups, Group{
 			Node:    n.ID,
-			NodeKey: n.Key(db.graph.Dims),
-			Member:  members[i],
+			NodeKey: plan.keys[i],
+			Member:  plan.members[i],
 			Rows:    rows,
 		})
 	}
