@@ -43,6 +43,7 @@ func main() {
 	dimSpec := flag.String("dims", "", "dimension spec for -csv, e.g. \"product;location=city<region\"")
 	period := flag.Int("period", 1, "seasonal period for -csv data")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus-format engine metrics on this address (e.g. :9090)")
+	stripes := flag.Int("stripes", 0, "write stripes sharding the insert path (0 = near GOMAXPROCS, rounded to a power of two; negative = single stripe)")
 	flag.Parse()
 
 	if *dbPath != "" {
@@ -50,7 +51,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		db, err := f2db.LoadDatabase(fh, f2db.Options{Strategy: f2db.TimeBased{Every: 8}})
+		db, err := f2db.LoadDatabase(fh, f2db.Options{Strategy: f2db.TimeBased{Every: 8}, Stripes: *stripes})
 		cerr := fh.Close()
 		if err != nil {
 			fail(err)
@@ -124,7 +125,7 @@ func main() {
 		cfg = c
 		fmt.Printf("done: error=%.4f models=%d\n", cfg.Error(), cfg.NumModels())
 	}
-	db, err := f2db.Open(g, cfg, f2db.Options{Strategy: f2db.TimeBased{Every: 8}})
+	db, err := f2db.Open(g, cfg, f2db.Options{Strategy: f2db.TimeBased{Every: 8}, Stripes: *stripes})
 	if err != nil {
 		fail(err)
 	}

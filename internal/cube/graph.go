@@ -335,15 +335,25 @@ func (g *Graph) Advance(values map[int]float64) error {
 		return fmt.Errorf("cube: Advance needs a value for all %d base series, got %d", len(g.BaseIDs), len(values))
 	}
 	// Zero-extend every node, then add base contributions to all covering
-	// nodes by walking ancestor closures.
+	// nodes by walking ancestor closures. Contributions are applied in
+	// ascending base-ID order, not map order, so aggregate sums are
+	// bit-for-bit reproducible no matter how the batch map was assembled
+	// (floating-point addition is not associative; a fixed order makes two
+	// engines fed the same batches byte-identical).
 	for _, n := range g.Nodes {
 		n.Series.Append(0)
 	}
-	t := g.Length
-	for bid, v := range values {
+	bids := make([]int, 0, len(values))
+	for bid := range values {
 		if bid < 0 || bid >= len(g.Nodes) || !g.Nodes[bid].IsBase {
 			return fmt.Errorf("cube: Advance: %d is not a base node", bid)
 		}
+		bids = append(bids, bid)
+	}
+	sort.Ints(bids)
+	t := g.Length
+	for _, bid := range bids {
+		v := values[bid]
 		for _, id := range g.coverClosure(bid) {
 			g.Nodes[id].Series.Values[t] += v
 		}

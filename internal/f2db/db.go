@@ -10,13 +10,20 @@
 //
 // Concurrency model: the engine distinguishes readers from maintenance.
 // Forecast queries (Query, ForecastNode, Health, Stats, Explain) take
-// shared read access and run concurrently on all cores; inserts and the
-// batch maintenance they trigger (model state updates, derivation-weight
-// updates, re-estimation) take the exclusive write lock. The one crossing
-// point is lazy re-estimation (Section V delays parameter re-estimation
-// until a query references the model): a query that hits an invalidated
-// model retries once holding the write lock. Engine counters are atomics
-// (see metrics.go), so observing the engine never blocks it.
+// shared read access and run concurrently on all cores. The write path is
+// striped (stripe.go): base series are partitioned by node-ID hash into
+// power-of-two stripes, each owning its slice of the pending insert batch
+// behind its own mutex, so parallel insert streams only contend when they
+// hit the same stripe. The exclusive engine lock is reserved for the two
+// cross-stripe events — the batch time advance (model state updates,
+// derivation-weight updates, invalidation) and model re-estimation. The
+// one crossing point between readers and writers is lazy re-estimation
+// (Section V delays parameter re-estimation until a query references the
+// model): a query that hits an invalidated model retries once holding the
+// write lock. Lock ownership is witnessed by a guard value produced only
+// by the acquire helpers, so exclusive-only paths assert their lock
+// instead of trusting a convention. Engine counters are atomics (see
+// metrics.go), so observing the engine never blocks it.
 package f2db
 
 import (
@@ -25,6 +32,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cubefc/internal/core"
@@ -99,9 +107,14 @@ type schemeState struct {
 // DB is the embedded F²DB engine.
 type DB struct {
 	// mu separates shared readers (forecast queries, health and stats
-	// snapshots) from exclusive writers (insert maintenance, lazy
-	// re-estimation, snapshot restore).
+	// snapshots) from exclusive writers (batch time advance, lazy
+	// re-estimation, snapshot restore). Acquire it through rLock/wLock so
+	// lock ownership is witnessed by a guard (see below).
 	mu sync.RWMutex
+	// writeHeld is set while some goroutine holds mu exclusively; it backs
+	// assertExclusive, the runtime check that write-only paths really run
+	// under the write lock.
+	writeHeld atomic.Bool
 
 	graph *cube.Graph
 	cfg   *core.Configuration
@@ -115,13 +128,25 @@ type DB struct {
 	mstats   map[int]*ModelStats
 	schemes  map[int]*schemeState
 
-	// pending batches inserts until every base series has a value for
-	// the next time stamp. It has its own mutex so the insert hot path
-	// does not queue behind mu as a writer (which would stall readers):
-	// only the insert completing a batch takes the engine write lock.
-	// Lock order: mu before pendingMu, never the reverse.
-	pendingMu sync.Mutex
-	pending   map[int]float64
+	// stripes shard the pending insert batch by base-node hash (see
+	// stripe.go): inserts lock only their stripe, so parallel insert
+	// streams do not contend until a batch completes. Time advances only
+	// once every base series has a value for the next time stamp; the
+	// advance is a cross-stripe barrier taken under the engine write lock.
+	// Lock order: mu before any stripe mutex, never the reverse.
+	stripes     []writeStripe
+	stripeShift uint
+	// pendingTotal counts values across all stripe buffers; the batch is
+	// complete exactly when it reaches len(graph.BaseIDs). It is a
+	// completion hint — the authoritative check runs under mu in
+	// advanceIfComplete.
+	pendingTotal atomic.Int64
+	// advanceGen increments (under mu) every time a complete batch is
+	// swapped out of the stripe buffers. Inserters that hit a duplicate
+	// use it to distinguish "my value is a genuine duplicate in the
+	// current batch" from "the batch holding the duplicate just advanced;
+	// retry against the fresh one".
+	advanceGen atomic.Uint64
 
 	// baseCounts holds the number of base series per node (AVG queries),
 	// precomputed at Open so the read path never mutates shared state.
@@ -152,6 +177,12 @@ type Options struct {
 	// ForecastCacheSize bounds the epoch-invalidated forecast memo table.
 	// 0 selects the default (4096); a negative value disables memoization.
 	ForecastCacheSize int
+	// Stripes is the number of write stripes sharding the pending insert
+	// batch and the forecast memo table. 0 picks a power of two near
+	// GOMAXPROCS; other values are rounded up to the next power of two
+	// (capped at 256). Negative forces a single stripe — the pre-striping
+	// global-lock layout, kept for baseline benchmarks.
+	Stripes int
 }
 
 // Default cache capacities applied by Open when the option is zero.
@@ -172,6 +203,7 @@ func Open(g *cube.Graph, cfg *core.Configuration, opts Options) (*DB, error) {
 	if opts.Strategy == nil {
 		opts.Strategy = Never{}
 	}
+	nstripes := resolveStripeCount(opts.Stripes)
 	db := &DB{
 		graph:        g,
 		cfg:          cfg,
@@ -180,7 +212,14 @@ func Open(g *cube.Graph, cfg *core.Configuration, opts Options) (*DB, error) {
 		invalid:      make(map[int]bool),
 		mstats:       make(map[int]*ModelStats),
 		schemes:      make(map[int]*schemeState),
-		pending:      make(map[int]float64),
+		stripes:      make([]writeStripe, nstripes),
+		stripeShift:  stripeShiftFor(nstripes),
+	}
+	for _, id := range g.BaseIDs {
+		db.stripeFor(id).bases++
+	}
+	for i := range db.stripes {
+		db.stripes[i].pending = make(map[int]float64, db.stripes[i].bases)
 	}
 	for id := range cfg.Models {
 		db.mstats[id] = &ModelStats{}
@@ -218,7 +257,7 @@ func Open(g *cube.Graph, cfg *core.Configuration, opts Options) (*DB, error) {
 		if size == 0 {
 			size = defaultForecastCacheSize
 		}
-		db.fc = newFcCache(g.NumNodes(), size)
+		db.fc = newFcCache(g.NumNodes(), size, nstripes)
 		// Invert the scheme table: deps[s] = targets deriving from model
 		// s, so a re-estimation of s invalidates exactly those epochs.
 		db.deps = make(map[int][]int, len(cfg.Models))
@@ -233,11 +272,9 @@ func Open(g *cube.Graph, cfg *core.Configuration, opts Options) (*DB, error) {
 	return db, nil
 }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters. It is lock-free.
 func (db *DB) Stats() Stats {
-	db.pendingMu.Lock()
-	pending := len(db.pending)
-	db.pendingMu.Unlock()
+	pending := int(db.pendingTotal.Load())
 	return Stats{
 		Queries:        int(db.met.queries.Load()),
 		Inserts:        int(db.met.inserts.Load()),
@@ -254,6 +291,46 @@ func (db *DB) Stats() Stats {
 // write lock. It never escapes the package API.
 var errNeedsReestimate = errors.New("f2db: model awaits re-estimation")
 
+// guard witnesses ownership of the engine lock. It can only be produced by
+// rLock/wLock, so a function taking a guard provably runs under the lock,
+// and one requiring exclusivity can assert it instead of trusting a bool
+// threaded by convention — the stripe refactor must not be able to
+// double-lock or race silently.
+type guard struct{ exclusive bool }
+
+// rLock takes the shared engine lock and returns its witness.
+func (db *DB) rLock() guard {
+	db.mu.RLock()
+	return guard{}
+}
+
+// wLock takes the exclusive engine lock and returns its witness.
+func (db *DB) wLock() guard {
+	db.mu.Lock()
+	db.writeHeld.Store(true)
+	return guard{exclusive: true}
+}
+
+// unlock releases the lock a guard witnesses.
+func (db *DB) unlock(g guard) {
+	if g.exclusive {
+		db.writeHeld.Store(false)
+		db.mu.Unlock()
+		return
+	}
+	db.mu.RUnlock()
+}
+
+// assertExclusive panics unless the guard witnesses the write lock and the
+// write lock is actually held. Write-only paths (reestimate, advanceBatch)
+// call it so a future refactor that drops the lock fails loudly instead of
+// racing.
+func (db *DB) assertExclusive(g guard) {
+	if !g.exclusive || !db.writeHeld.Load() {
+		panic("f2db: internal error: write path entered without the exclusive engine lock")
+	}
+}
+
 // ForecastNode answers a forecast for the node over horizon h steps using
 // the stored scheme and live model states, re-estimating invalid models
 // lazily (Section V: "we reduce maintenance overhead by delaying parameter
@@ -261,15 +338,15 @@ var errNeedsReestimate = errors.New("f2db: model awaits re-estimation")
 // common path runs under the shared read lock; only a query that actually
 // needs a re-estimation upgrades to the write lock.
 func (db *DB) ForecastNode(nodeID, h int) ([]float64, error) {
-	db.mu.RLock()
-	fc, _, _, err := db.forecastIntervalLocked(nodeID, h, 0, false)
-	db.mu.RUnlock()
+	g := db.rLock()
+	fc, _, _, err := db.forecastIntervalLocked(g, nodeID, h, 0)
+	db.unlock(g)
 	if err != errNeedsReestimate {
 		return fc, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	fc, _, _, err = db.forecastIntervalLocked(nodeID, h, 0, true)
+	g = db.wLock()
+	defer db.unlock(g)
+	fc, _, _, err = db.forecastIntervalLocked(g, nodeID, h, 0)
 	return fc, err
 }
 
@@ -278,12 +355,12 @@ func (db *DB) ForecastNode(nodeID, h int) ([]float64, error) {
 // touching any model; a miss derives the forecast and memoizes it under the
 // node's current epoch. Metrics (query count, latency, scheme hits, cache
 // counters) are recorded here so hits and misses are accounted uniformly.
-// The caller holds the read lock (exclusive=false) or the write lock
-// (exclusive=true); only the exclusive variant may re-estimate invalidated
-// source models — the shared variant reports errNeedsReestimate instead,
-// which is metered as a cache bypass (the query bypasses the memo table to
-// take the lazy re-estimation path), not a miss.
-func (db *DB) forecastIntervalLocked(nodeID, h int, conf float64, exclusive bool) (point, lo, hi []float64, err error) {
+// The guard witnesses the engine lock; only an exclusive guard may
+// re-estimate invalidated source models — under a shared guard the call
+// reports errNeedsReestimate instead, which is metered as a cache bypass
+// (the query bypasses the memo table to take the lazy re-estimation path),
+// not a miss.
+func (db *DB) forecastIntervalLocked(g guard, nodeID, h int, conf float64) (point, lo, hi []float64, err error) {
 	start := time.Now()
 	defer func() {
 		if err == errNeedsReestimate {
@@ -303,7 +380,7 @@ func (db *DB) forecastIntervalLocked(nodeID, h int, conf float64, exclusive bool
 			return p, l, u, nil
 		}
 	}
-	point, lo, hi, err = db.deriveInterval(nodeID, h, conf, exclusive)
+	point, lo, hi, err = db.deriveInterval(g, nodeID, h, conf)
 	if err == errNeedsReestimate {
 		if db.fc != nil {
 			db.met.fcBypasses.Add(1)
@@ -314,7 +391,7 @@ func (db *DB) forecastIntervalLocked(nodeID, h int, conf float64, exclusive bool
 		return nil, nil, nil, err
 	}
 	if db.fc != nil {
-		if !exclusive {
+		if !g.exclusive {
 			// The exclusive retry continues a bypass already metered
 			// above; only genuine shared-path recomputations count as
 			// misses.
@@ -329,7 +406,7 @@ func (db *DB) forecastIntervalLocked(nodeID, h int, conf float64, exclusive bool
 
 // deriveForecast derives the node forecast from live model state. Locking
 // contract as forecastIntervalLocked; no metrics, no memoization.
-func (db *DB) deriveForecast(nodeID, h int, exclusive bool) (fc []float64, err error) {
+func (db *DB) deriveForecast(g guard, nodeID, h int) (fc []float64, err error) {
 	sc, ok := db.cfg.Schemes[nodeID]
 	if !ok {
 		return nil, fmt.Errorf("f2db: node %d has no derivation scheme", nodeID)
@@ -341,10 +418,10 @@ func (db *DB) deriveForecast(nodeID, h int, exclusive bool) (fc []float64, err e
 			return nil, fmt.Errorf("f2db: scheme source %d has no model", s)
 		}
 		if db.invalid[s] {
-			if !exclusive {
+			if !g.exclusive {
 				return nil, errNeedsReestimate
 			}
-			if err := db.reestimate(s, m); err != nil {
+			if err := db.reestimate(g, s, m); err != nil {
 				return nil, err
 			}
 		}
@@ -367,8 +444,8 @@ func (db *DB) deriveForecast(nodeID, h int, exclusive bool) (fc []float64, err e
 // state-space formulas for exponential smoothing):
 //
 //	spread(step) = z · |k| · sqrt( Σ_s σ_s² · scale_s(step)² )
-func (db *DB) deriveInterval(nodeID, h int, conf float64, exclusive bool) (point, lo, hi []float64, err error) {
-	point, err = db.deriveForecast(nodeID, h, exclusive)
+func (db *DB) deriveInterval(g guard, nodeID, h int, conf float64) (point, lo, hi []float64, err error) {
+	point, err = db.deriveForecast(g, nodeID, h)
 	if err != nil || conf <= 0 {
 		return point, nil, nil, err
 	}
@@ -402,8 +479,9 @@ func (db *DB) deriveInterval(nodeID, h int, conf float64, exclusive bool) (point
 // reestimate re-fits a model's parameters on the node's full current
 // history and bumps the epoch of the model node and of every node whose
 // derivation scheme reads the model, invalidating their memoized forecasts.
-// Caller holds the write lock.
-func (db *DB) reestimate(id int, m forecast.Model) error {
+// The guard must witness the write lock.
+func (db *DB) reestimate(g guard, id int, m forecast.Model) error {
+	db.assertExclusive(g)
 	if err := m.Fit(db.graph.Nodes[id].Series); err != nil {
 		return fmt.Errorf("f2db: re-estimating node %d: %w", id, err)
 	}
@@ -454,9 +532,10 @@ func (db *DB) resolveBase(members []string) (int, error) {
 }
 
 // InsertBase is Insert addressed by base node ID (fast path for generated
-// workloads). Incomplete-batch inserts only touch the pending map; the
-// engine write lock is taken once per completed batch, so a steady insert
-// stream barely interferes with concurrent readers.
+// workloads). Incomplete-batch inserts only touch the stripe owning the
+// base series; the engine write lock is taken once per completed batch, so
+// parallel insert streams neither interfere with concurrent readers nor —
+// when they land on different stripes — with each other.
 func (db *DB) InsertBase(baseID int, value float64) (err error) {
 	start := time.Now()
 	defer func() {
@@ -465,25 +544,36 @@ func (db *DB) InsertBase(baseID int, value float64) (err error) {
 		}
 		db.met.maintainNanos.Add(time.Since(start).Nanoseconds())
 	}()
+	if baseID < 0 || baseID >= db.graph.NumNodes() || !db.graph.Nodes[baseID].IsBase {
+		return fmt.Errorf("f2db: %d is not a base node", baseID)
+	}
+	s := db.stripeFor(baseID)
 	for {
-		db.pendingMu.Lock()
-		if _, dup := db.pending[baseID]; dup {
-			full := len(db.pending) == len(db.graph.BaseIDs)
-			db.pendingMu.Unlock()
-			if !full {
-				return fmt.Errorf("f2db: duplicate insert for base node %d in current batch", baseID)
-			}
-			// A complete batch is awaiting its advance (another inserter
-			// won the completion race); help apply it, then retry.
+		// advanceGen is read before the stripe lock: while we hold the
+		// stripe mutex no advance can swap our stripe's buffer, so a
+		// duplicate observed under the lock belongs to the generation we
+		// read (or an earlier one — then the recheck below retries).
+		gen := db.advanceGen.Load()
+		s.lock()
+		if _, dup := s.pending[baseID]; dup {
+			s.mu.Unlock()
+			// Either the batch is complete and awaiting its advance
+			// (another inserter won the completion race — help apply it,
+			// then retry), or the value really is a duplicate within the
+			// current, incomplete batch.
 			if err := db.advanceIfComplete(); err != nil {
 				return err
 			}
+			if db.advanceGen.Load() == gen {
+				return fmt.Errorf("f2db: duplicate insert for base node %d in current batch", baseID)
+			}
 			continue
 		}
-		db.pending[baseID] = value
-		complete := len(db.pending) == len(db.graph.BaseIDs)
-		db.pendingMu.Unlock()
-		if !complete {
+		s.pending[baseID] = value
+		s.depth.Add(1)
+		total := db.pendingTotal.Add(1)
+		s.mu.Unlock()
+		if total < int64(len(db.graph.BaseIDs)) {
 			return nil
 		}
 		return db.advanceIfComplete()
@@ -491,16 +581,18 @@ func (db *DB) InsertBase(baseID int, value float64) (err error) {
 }
 
 // InsertBatch adds new measure values for many base series (keyed by base
-// node ID) in one call, taking the pending-batch lock once instead of once
-// per value; whenever the pending batch becomes complete, time advances
-// under a single acquisition of the engine write lock. This is the write
-// path for bulk producers — the workload generator, snapshot restore and
-// multi-row SQL INSERTs — where per-value InsertBase locking dominates.
+// node ID) in one call. Values are routed to their write stripes and each
+// stripe's lock is taken once for its whole group, so concurrent InsertBatch
+// calls over disjoint stripes proceed in parallel; whenever the pending
+// batch becomes complete, time advances under a single acquisition of the
+// engine write lock. This is the write path for bulk producers — the
+// workload generator, snapshot restore and multi-row SQL INSERTs — where
+// per-value InsertBase locking dominates.
 //
-// Values are applied in ascending node-ID order. A value for a base series
-// that already has a pending value in the current (incomplete) batch is a
-// duplicate error, exactly as with InsertBase; values applied before the
-// error sticks remain pending.
+// Values are applied in ascending node-ID order within each stripe, stripes
+// in index order. A value for a base series that already has a pending
+// value in the current (incomplete) batch is a duplicate error, exactly as
+// with InsertBase; values applied before the error sticks remain pending.
 func (db *DB) InsertBatch(values map[int]float64) (err error) {
 	start := time.Now()
 	applied := 0
@@ -509,42 +601,50 @@ func (db *DB) InsertBatch(values map[int]float64) (err error) {
 		db.met.batchInserts.Add(1)
 		db.met.maintainNanos.Add(time.Since(start).Nanoseconds())
 	}()
-	ids := make([]int, 0, len(values))
+	groups := make([][]int, len(db.stripes))
 	for id := range values {
 		if id < 0 || id >= db.graph.NumNodes() || !db.graph.Nodes[id].IsBase {
 			return fmt.Errorf("f2db: InsertBatch: %d is not a base node", id)
 		}
-		ids = append(ids, id)
+		si := stripeIndex(id, db.stripeShift)
+		groups[si] = append(groups[si], id)
 	}
-	sort.Ints(ids)
-	i := 0
-	for i < len(ids) {
-		db.pendingMu.Lock()
-		for i < len(ids) {
-			id := ids[i]
-			if _, dup := db.pending[id]; dup {
-				break
-			}
-			db.pending[id] = values[id]
-			applied++
-			i++
-			if len(db.pending) == len(db.graph.BaseIDs) {
-				break
-			}
+	numBases := int64(len(db.graph.BaseIDs))
+	for si, group := range groups {
+		if len(group) == 0 {
+			continue
 		}
-		complete := len(db.pending) == len(db.graph.BaseIDs)
-		blocked := i < len(ids) && !complete
-		db.pendingMu.Unlock()
-		if blocked {
-			return fmt.Errorf("f2db: duplicate insert for base node %d in current batch", ids[i])
-		}
-		if complete {
-			// Either this call completed the batch, or it ran into its own
-			// earlier value re-offered against an already-complete batch
-			// another inserter has not applied yet: apply (or help apply)
-			// the advance, then continue with the remaining values.
-			if err := db.advanceIfComplete(); err != nil {
-				return err
+		sort.Ints(group)
+		s := &db.stripes[si]
+		i := 0
+		for i < len(group) {
+			gen := db.advanceGen.Load()
+			dupID := -1
+			s.lock()
+			for i < len(group) {
+				id := group[i]
+				if _, dup := s.pending[id]; dup {
+					dupID = id
+					break
+				}
+				s.pending[id] = values[id]
+				s.depth.Add(1)
+				db.pendingTotal.Add(1)
+				applied++
+				i++
+			}
+			s.mu.Unlock()
+			if db.pendingTotal.Load() == numBases {
+				// Either this call completed the batch, or it ran into its
+				// own earlier value re-offered against an already-complete
+				// batch another inserter has not applied yet: apply (or
+				// help apply) the advance, then continue.
+				if err := db.advanceIfComplete(); err != nil {
+					return err
+				}
+			}
+			if dupID >= 0 && db.advanceGen.Load() == gen {
+				return fmt.Errorf("f2db: duplicate insert for base node %d in current batch", dupID)
 			}
 		}
 	}
@@ -552,26 +652,41 @@ func (db *DB) InsertBatch(values map[int]float64) (err error) {
 }
 
 // advanceIfComplete applies the pending batch if it is (still) complete.
-// Safe to race: whichever caller takes the write lock first advances, the
-// rest see an incomplete (fresh) batch and return.
+// This is the write path's cross-stripe barrier: under the engine write
+// lock it visits every stripe, swaps the buffers out and advances time —
+// no insert can slip in because a complete batch makes every further
+// insert a duplicate until the swap. Safe to race: whichever caller takes
+// the write lock first advances, the rest see an incomplete (fresh) batch
+// and return.
 func (db *DB) advanceIfComplete() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.pendingMu.Lock()
-	if len(db.pending) < len(db.graph.BaseIDs) {
-		db.pendingMu.Unlock()
+	g := db.wLock()
+	defer db.unlock(g)
+	numBases := int64(len(db.graph.BaseIDs))
+	if db.pendingTotal.Load() < numBases {
 		return nil
 	}
-	batch := db.pending
-	db.pending = make(map[int]float64)
-	db.pendingMu.Unlock()
-	return db.advanceBatch(batch)
+	batch := make(map[int]float64, numBases)
+	for i := range db.stripes {
+		s := &db.stripes[i]
+		s.lock()
+		for id, v := range s.pending {
+			batch[id] = v
+		}
+		clear(s.pending)
+		s.depth.Store(0)
+		s.mu.Unlock()
+	}
+	db.pendingTotal.Store(0)
+	db.advanceGen.Add(1)
+	return db.advanceBatch(g, batch)
 }
 
 // advanceBatch processes a complete batch: appends the new values to every
 // node series, updates model states and derivation weights incrementally,
-// and applies the invalidation strategy. Caller holds the write lock.
-func (db *DB) advanceBatch(batch map[int]float64) error {
+// and applies the invalidation strategy. The guard must witness the write
+// lock.
+func (db *DB) advanceBatch(g guard, batch map[int]float64) error {
+	db.assertExclusive(g)
 	t := db.graph.Length // index of the new observation after Advance
 	if err := db.graph.Advance(batch); err != nil {
 		return err
@@ -619,8 +734,8 @@ func (db *DB) advanceBatch(batch map[int]float64) error {
 
 // InvalidCount returns how many models currently await re-estimation.
 func (db *DB) InvalidCount() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	g := db.rLock()
+	defer db.unlock(g)
 	c := 0
 	for _, v := range db.invalid {
 		if v {
@@ -644,8 +759,8 @@ type ModelHealth struct {
 
 // Health returns a snapshot of every model's maintenance state.
 func (db *DB) Health() map[string]ModelHealth {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	g := db.rLock()
+	defer db.unlock(g)
 	out := make(map[string]ModelHealth, len(db.cfg.Models))
 	for id, m := range db.cfg.Models {
 		st := db.mstats[id]

@@ -22,6 +22,13 @@ import (
 // Writers only ever pay O(affected nodes) atomic increments; stale entries
 // are reclaimed lazily at overwrite or by the eviction sweep when the table
 // reaches capacity.
+//
+// The entry table is sharded with the engine's write stripes (stripe.go):
+// each shard owns its own map, RWMutex and capacity slice, and a node's
+// entries all live in the shard its ID hashes to. Memo lookups and stores
+// on different shards never contend, and an eviction sweep stalls one
+// shard, not the whole table. The epoch array is shared — it is lock-free
+// and per-node already.
 
 // fcKey identifies one memoized forecast.
 type fcKey struct {
@@ -39,25 +46,52 @@ type fcEntry struct {
 	lo, hi []float64
 }
 
-// fcCache is the epoch-guarded forecast memo table. Epoch bumps are
-// lock-free; the entry map is guarded by an RWMutex (lookups under RLock).
-type fcCache struct {
-	epochs []atomic.Uint64 // one per graph node
-	cap    int
-	mu     sync.RWMutex
-	items  map[fcKey]fcEntry
+// fcShard is one shard of the memo table: its own map behind its own
+// RWMutex (lookups under RLock), holding the entries of the nodes hashed
+// to it.
+type fcShard struct {
+	mu    sync.RWMutex
+	items map[fcKey]fcEntry
 }
 
-// newFcCache sizes the memo table for a graph with numNodes nodes.
-func newFcCache(numNodes, capacity int) *fcCache {
+// fcCache is the epoch-guarded, sharded forecast memo table. Epoch bumps
+// are lock-free; entry maps are guarded per shard.
+type fcCache struct {
+	epochs   []atomic.Uint64 // one per graph node
+	shards   []fcShard
+	shardCap int  // per-shard capacity slice
+	shift    uint // log2(len(shards)), for stripeIndex routing
+}
+
+// newFcCache sizes the memo table for a graph with numNodes nodes, sharded
+// `stripes` ways (a power of two, the engine's write-stripe count). The
+// total capacity is sliced evenly across shards.
+func newFcCache(numNodes, capacity, stripes int) *fcCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &fcCache{
-		epochs: make([]atomic.Uint64, numNodes),
-		cap:    capacity,
-		items:  make(map[fcKey]fcEntry, capacity/4),
+	if stripes < 1 {
+		stripes = 1
 	}
+	shardCap := (capacity + stripes - 1) / stripes
+	if shardCap < 1 {
+		shardCap = 1
+	}
+	c := &fcCache{
+		epochs:   make([]atomic.Uint64, numNodes),
+		shards:   make([]fcShard, stripes),
+		shardCap: shardCap,
+		shift:    stripeShiftFor(stripes),
+	}
+	for i := range c.shards {
+		c.shards[i].items = make(map[fcKey]fcEntry, shardCap/4)
+	}
+	return c
+}
+
+// shardFor returns the shard owning a node's memo entries.
+func (c *fcCache) shardFor(node int) *fcShard {
+	return &c.shards[stripeIndex(node, c.shift)]
 }
 
 // epoch returns the current epoch of a node.
@@ -86,9 +120,10 @@ func (c *fcCache) bumpAll() int64 {
 // a miss (and left for the next store to overwrite).
 func (c *fcCache) get(key fcKey) (point, lo, hi []float64, ok bool) {
 	cur := c.epochs[key.node].Load()
-	c.mu.RLock()
-	e, found := c.items[key]
-	c.mu.RUnlock()
+	sh := c.shardFor(key.node)
+	sh.mu.RLock()
+	e, found := sh.items[key]
+	sh.mu.RUnlock()
 	if !found || e.epoch != cur {
 		return nil, nil, nil, false
 	}
@@ -107,32 +142,51 @@ func (c *fcCache) put(key fcKey, point, lo, hi []float64) (evicted int64) {
 		lo:    cloneFloats(lo),
 		hi:    cloneFloats(hi),
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, exists := c.items[key]; !exists && len(c.items) >= c.cap {
-		// Capacity sweep: drop stale-epoch entries first; if every entry is
-		// live the table is genuinely too small — reset it rather than
-		// tracking LRU order on the query hot path.
-		for k, v := range c.items {
+	sh := c.shardFor(key.node)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, exists := sh.items[key]; !exists && len(sh.items) >= c.shardCap {
+		// Capacity sweep, per shard: drop stale-epoch entries first; if
+		// every entry is live the shard is genuinely too small — reset it
+		// rather than tracking LRU order on the query hot path.
+		for k, v := range sh.items {
 			if v.epoch != c.epochs[k.node].Load() {
-				delete(c.items, k)
+				delete(sh.items, k)
 				evicted++
 			}
 		}
-		if len(c.items) >= c.cap {
-			evicted += int64(len(c.items))
-			c.items = make(map[fcKey]fcEntry, c.cap/4)
+		if len(sh.items) >= c.shardCap {
+			evicted += int64(len(sh.items))
+			sh.items = make(map[fcKey]fcEntry, c.shardCap/4)
 		}
 	}
-	c.items[key] = e
+	sh.items[key] = e
 	return evicted
 }
 
-// size returns the number of memoized entries (live and stale).
+// size returns the number of memoized entries (live and stale) across all
+// shards.
 func (c *fcCache) size() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.items)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.items)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// shardSizes returns the per-shard entry counts (metrics).
+func (c *fcCache) shardSizes() []int {
+	out := make([]int, len(c.shards))
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		out[i] = len(sh.items)
+		sh.mu.RUnlock()
+	}
+	return out
 }
 
 func cloneFloats(s []float64) []float64 {

@@ -185,6 +185,19 @@ type Metrics struct {
 	ForecastCacheEvictions int64
 	ForecastCacheSize      int
 	EpochBumps             int64
+
+	// Write-stripe gauges (see stripe.go). WriteStripes is the stripe
+	// count fixed at Open; StripePending is the current pending-batch
+	// depth per stripe; StripeContention counts stripe-lock acquisitions
+	// that found the lock held (writer-writer contention — the quantity
+	// striping exists to shrink); StripeBases is the number of base series
+	// routed to each stripe (hash balance). ForecastShardEntries is the
+	// per-shard memo-table occupancy (nil when memoization is disabled).
+	WriteStripes         int
+	StripePending        []int
+	StripeContention     []int64
+	StripeBases          []int
+	ForecastShardEntries []int
 }
 
 // Metrics returns a lock-free snapshot of the engine counters. Unlike
@@ -217,6 +230,17 @@ func (db *DB) Metrics() Metrics {
 	}
 	if db.fc != nil {
 		m.ForecastCacheSize = db.fc.size()
+		m.ForecastShardEntries = db.fc.shardSizes()
+	}
+	m.WriteStripes = len(db.stripes)
+	m.StripePending = make([]int, len(db.stripes))
+	m.StripeContention = make([]int64, len(db.stripes))
+	m.StripeBases = make([]int, len(db.stripes))
+	for i := range db.stripes {
+		s := &db.stripes[i]
+		m.StripePending[i] = int(s.depth.Load())
+		m.StripeContention[i] = s.contention.Load()
+		m.StripeBases[i] = s.bases
 	}
 	for i := 0; i < derivationKinds; i++ {
 		if c := db.met.schemeHits[i].Load(); c > 0 {
@@ -237,6 +261,17 @@ func (m Metrics) String() string {
 	out += fmt.Sprintf("forecast-cache: hits=%d misses=%d bypasses=%d evictions=%d size=%d epoch-bumps=%d\n",
 		m.ForecastCacheHits, m.ForecastCacheMisses, m.ForecastCacheBypasses,
 		m.ForecastCacheEvictions, m.ForecastCacheSize, m.EpochBumps)
+	if m.WriteStripes > 0 {
+		var pending, contention int64
+		for _, p := range m.StripePending {
+			pending += int64(p)
+		}
+		for _, c := range m.StripeContention {
+			contention += c
+		}
+		out += fmt.Sprintf("write-stripes: count=%d pending=%d lock-contention=%d\n",
+			m.WriteStripes, pending, contention)
+	}
 	if len(m.SchemeHits) > 0 {
 		out += "scheme-hits:"
 		for _, kind := range []string{"direct", "aggregation", "disaggregation", "general"} {

@@ -28,17 +28,26 @@ type dbImage struct {
 // SaveDatabase serializes the whole engine state. It holds the shared read
 // lock for the duration: concurrent queries proceed, maintenance waits.
 func SaveDatabase(w io.Writer, db *DB) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	// Copy the in-flight batch under its own lock (order: mu, pendingMu).
-	// Batch application holds mu exclusively, so the copy is consistent
-	// with the graph state captured below.
-	db.pendingMu.Lock()
-	pending := make(map[int]float64, len(db.pending))
-	for id, v := range db.pending {
-		pending[id] = v
+	g := db.rLock()
+	defer db.unlock(g)
+	// Copy the in-flight batch stripe by stripe (lock order: mu before any
+	// stripe mutex). Holding the shared engine lock pins the batch advance
+	// (it needs mu exclusively), so no stripe buffer can be swapped out
+	// mid-walk and the copy is consistent with the graph state captured
+	// below; pending values added concurrently to a not-yet-visited stripe
+	// are simply part of the snapshot, exactly as they were under the old
+	// single pending map. The stripe count is a runtime tuning knob, not
+	// data: the image stays a flat member-key map, so a snapshot taken
+	// with one stripe layout restores under any other.
+	pending := make(map[int]float64, len(db.graph.BaseIDs))
+	for i := range db.stripes {
+		s := &db.stripes[i]
+		s.lock()
+		for id, v := range s.pending {
+			pending[id] = v
+		}
+		s.mu.Unlock()
 	}
-	db.pendingMu.Unlock()
 
 	img := dbImage{
 		Dims:         db.graph.Dims,

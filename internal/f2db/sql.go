@@ -69,8 +69,9 @@ type Result struct {
 //
 // with one member value per dimension in schema order. Inserts are batched
 // by the maintenance processor (Section V); a multi-row INSERT takes the
-// batched write path (InsertBatch), acquiring the engine locks once for the
-// whole statement instead of once per row.
+// batched write path (InsertBatch), which routes the rows to their write
+// stripes and locks each stripe once for the whole statement instead of
+// once per row.
 func (db *DB) Exec(sql string) error {
 	toks, err := lex(sql)
 	if err != nil {
@@ -176,15 +177,15 @@ func (db *DB) Query(sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	db.mu.RLock()
-	res, err := db.execPlan(plan, false)
-	db.mu.RUnlock()
+	g := db.rLock()
+	res, err := db.execPlan(plan, g)
+	db.unlock(g)
 	if err != errNeedsReestimate {
 		return res, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.execPlan(plan, true)
+	g = db.wLock()
+	defer db.unlock(g)
+	return db.execPlan(plan, g)
 }
 
 // queryPlan is a fully resolved SELECT: the parsed statement, the graph
@@ -260,9 +261,9 @@ func (db *DB) buildPlan(stmt *selectStmt) (*queryPlan, error) {
 }
 
 // execPlan executes a resolved plan. Locking contract as
-// forecastIntervalLocked: the caller holds the read lock, or the write lock
-// when exclusive is set.
-func (db *DB) execPlan(plan *queryPlan, exclusive bool) (*Result, error) {
+// forecastIntervalLocked: the guard witnesses the engine lock, and only an
+// exclusive guard may lazily re-estimate.
+func (db *DB) execPlan(plan *queryPlan, g guard) (*Result, error) {
 	stmt := plan.stmt
 	res := &Result{Node: plan.nodes[0].ID, NodeKey: plan.keys[0]}
 	if stmt.explain || stmt.horizon == "" {
@@ -273,7 +274,7 @@ func (db *DB) execPlan(plan *queryPlan, exclusive bool) (*Result, error) {
 	}
 	res.Forecast = stmt.horizon != ""
 	for i, n := range plan.nodes {
-		rows, err := db.buildRows(n, stmt, plan.horizon, exclusive)
+		rows, err := db.buildRows(n, stmt, plan.horizon, g)
 		if err != nil {
 			return nil, err
 		}
@@ -305,7 +306,7 @@ func (db *DB) explainNode(id int) string {
 // historical queries, or the derived forecast (optionally with prediction
 // intervals) for AS OF queries. The AVG aggregate divides the SUM values
 // by the number of base series covered by the node.
-func (db *DB) buildRows(n *cube.Node, stmt *selectStmt, h int, exclusive bool) ([]QueryRow, error) {
+func (db *DB) buildRows(n *cube.Node, stmt *selectStmt, h int, g guard) ([]QueryRow, error) {
 	scale := 1.0
 	if stmt.agg == "avg" {
 		scale = 1 / float64(db.baseCounts[n.ID])
@@ -318,7 +319,7 @@ func (db *DB) buildRows(n *cube.Node, stmt *selectStmt, h int, exclusive bool) (
 		}
 		return rows, nil
 	}
-	point, lo, hi, err := db.forecastIntervalLocked(n.ID, h, stmt.interval, exclusive)
+	point, lo, hi, err := db.forecastIntervalLocked(g, n.ID, h, stmt.interval)
 	if err != nil {
 		return nil, err
 	}
@@ -509,6 +510,62 @@ type selectStmt struct {
 	horizon    string  // AS OF interval text, "" for historical queries
 	interval   float64 // WITH INTERVAL <percent> confidence, 0 = off
 	explain    bool
+}
+
+// String renders the statement back into the dialect in canonical form:
+// parsing the rendered text yields an identical statement (the round-trip
+// property FuzzParseSQL checks). Member values are always quoted, GROUP BY
+// emits time before the drill-down level — both normalizations the parser
+// already applies.
+func (s *selectStmt) String() string {
+	var b strings.Builder
+	if s.explain {
+		b.WriteString("EXPLAIN ")
+	}
+	b.WriteString("SELECT ")
+	for i, col := range s.columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(col)
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(s.table)
+	for i, p := range s.preds {
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(p.attr)
+		b.WriteString(" = '")
+		b.WriteString(p.value)
+		b.WriteString("'")
+	}
+	if s.groupBy || s.groupLevel != "" {
+		b.WriteString(" GROUP BY ")
+		switch {
+		case s.groupBy && s.groupLevel != "":
+			b.WriteString("time, ")
+			b.WriteString(s.groupLevel)
+		case s.groupBy:
+			b.WriteString("time")
+		default:
+			b.WriteString(s.groupLevel)
+		}
+	}
+	if s.horizon != "" {
+		b.WriteString(" AS OF now() + '")
+		b.WriteString(s.horizon)
+		b.WriteString("'")
+	}
+	if s.interval > 0 {
+		b.WriteString(" WITH INTERVAL ")
+		// 'f' (never scientific notation): the lexer's ident token has no
+		// '+'/'-', so "1e-05" would not re-lex.
+		b.WriteString(strconv.FormatFloat(s.interval, 'f', -1, 64))
+	}
+	return b.String()
 }
 
 type token struct {

@@ -1,0 +1,513 @@
+package f2db
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// Tests for the striped write path (stripe.go, DESIGN.md §6). The twin
+// tests run the striped engine under concurrent writers and readers and
+// demand results byte-identical to a sequential single-stripe reference —
+// the strongest statement that striping is a pure performance change. They
+// are part of the CI race-stress suite:
+//
+//	go test -race -run 'Stripe|Concurrency' -count=3 ./internal/f2db/
+
+// stripedTwins clones one engine into a striped instance and a
+// single-stripe sequential reference. Both use the Never invalidation
+// strategy: lazy re-estimation is triggered by query timing, so any
+// time-based strategy would make concurrent runs nondeterministic by
+// design; with Never the two engines must match bit for bit.
+func stripedTwins(t *testing.T, stripes int) (striped, seq *DB) {
+	t.Helper()
+	src, _, _ := testEngine(t, nil)
+	var buf bytes.Buffer
+	if err := SaveDatabase(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	striped, err := LoadDatabase(bytes.NewReader(data), Options{Strategy: Never{}, Stripes: stripes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err = LoadDatabase(bytes.NewReader(data), Options{Strategy: Never{}, Stripes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return striped, seq
+}
+
+// splitRoundRobin deals a batch's values over n sub-batches in ascending
+// ID order (IDs are hash-routed to stripes, so round-robin dealing spreads
+// every sub-batch over many stripes).
+func splitRoundRobin(batch map[int]float64, n int) []map[int]float64 {
+	ids := make([]int, 0, len(batch))
+	for id := range batch {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ { // insertion sort; tiny n
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	parts := make([]map[int]float64, n)
+	for i := range parts {
+		parts[i] = make(map[int]float64)
+	}
+	for i, id := range ids {
+		parts[i%n][id] = batch[id]
+	}
+	return parts
+}
+
+// TestStripeTwinEngines is the central striping correctness check: a
+// striped engine fed by 8 concurrent writers with 4 concurrent readers in
+// flight must end every round in exactly the state a single-stripe engine
+// reaches applying the same batches sequentially — byte-identical
+// forecasts for every node and horizon, and identical Stats counters.
+func TestStripeTwinEngines(t *testing.T) {
+	const (
+		rounds          = 5
+		writers         = 8
+		readers         = 4
+		queriesPerReader = 25
+	)
+	striped, seq := stripedTwins(t, writers)
+	numNodes := striped.Graph().NumNodes()
+
+	for round := 0; round < rounds; round++ {
+		batch := fullBatch(striped, round)
+		parts := splitRoundRobin(batch, writers)
+
+		errs := make([]error, writers+readers)
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				errs[w] = striped.InsertBatch(parts[w])
+			}(w)
+		}
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				for j := 0; j < queriesPerReader; j++ {
+					node := (r*31 + j*7) % numNodes
+					if _, err := striped.ForecastNode(node, 1+j%3); err != nil {
+						errs[writers+r] = err
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+
+		// Sequential reference: same batch, then the same query count
+		// (readers change no model state under Never, only counters).
+		if err := seq.InsertBatch(batch); err != nil {
+			t.Fatalf("round %d: reference: %v", round, err)
+		}
+		for r := 0; r < readers; r++ {
+			for j := 0; j < queriesPerReader; j++ {
+				node := (r*31 + j*7) % numNodes
+				if _, err := seq.ForecastNode(node, 1+j%3); err != nil {
+					t.Fatalf("round %d: reference query: %v", round, err)
+				}
+			}
+		}
+	}
+
+	sp, sq := striped.Stats(), seq.Stats()
+	if sp.Queries != sq.Queries || sp.Inserts != sq.Inserts ||
+		sp.Batches != sq.Batches || sp.Reestimations != sq.Reestimations ||
+		sp.PendingInserts != sq.PendingInserts {
+		t.Fatalf("stats diverged:\nstriped: %+v\nseq:     %+v", sp, sq)
+	}
+	for node := 0; node < numNodes; node++ {
+		for h := 1; h <= 3; h++ {
+			a, err := striped.ForecastNode(node, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := seq.ForecastNode(node, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("node %d h=%d: len %d != %d", node, h, len(a), len(b))
+			}
+			for i := range a {
+				if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+					t.Fatalf("node %d h=%d step %d: %v != %v (not byte-identical)",
+						node, h, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStripeInsertBaseConcurrent free-runs one InsertBase producer per base
+// series with no cross-producer synchronization: a producer that laps the
+// batch gets a duplicate error and must retry until the slower producers
+// complete the advance. This hammers the generation-retry protocol the
+// stripes use to distinguish "genuine duplicate" from "batch advanced
+// under me".
+func TestStripeInsertBaseConcurrent(t *testing.T) {
+	const rounds = 20
+	striped, seq := stripedTwins(t, 8)
+	ids := striped.Graph().BaseIDs()
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(ids))
+	for w, id := range ids {
+		wg.Add(1)
+		go func(w, id int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				v := 40 + float64(r)*3 + float64(w)*0.25
+				for {
+					err := striped.InsertBase(id, v)
+					if err == nil {
+						break
+					}
+					if !strings.Contains(err.Error(), "duplicate") {
+						errs[w] = err
+						return
+					}
+					// Lapped the batch: wait for the advance.
+					runtime.Gosched()
+				}
+			}
+		}(w, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for r := 0; r < rounds; r++ {
+		batch := make(map[int]float64, len(ids))
+		for w, id := range ids {
+			batch[id] = 40 + float64(r)*3 + float64(w)*0.25
+		}
+		if err := seq.InsertBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got, want := striped.Stats().Batches, rounds; got != want {
+		t.Fatalf("batches = %d, want %d", got, want)
+	}
+	if p := striped.Stats().PendingInserts; p != 0 {
+		t.Fatalf("pending = %d after complete rounds", p)
+	}
+	for _, id := range ids {
+		a, err := striped.ForecastNode(id, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := seq.ForecastNode(id, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("node %d: %v != %v", id, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestStripeAdvanceQuickProperty drives random InsertBatch interleavings
+// across stripes with testing/quick and checks the two advance invariants:
+// time never moves until a value has arrived for every base series, and
+// when it does move, every node's memo epoch is bumped exactly once.
+func TestStripeAdvanceQuickProperty(t *testing.T) {
+	src, _, _ := testEngine(t, nil)
+	var buf bytes.Buffer
+	if err := SaveDatabase(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	prop := func(seed int64, stripeSel uint8) bool {
+		db, err := LoadDatabase(bytes.NewReader(data), Options{
+			Strategy: Never{},
+			Stripes:  1 << (stripeSel % 4), // 1, 2, 4 or 8 stripes
+		})
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		ids := append([]int(nil), db.Graph().BaseIDs()...)
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+
+		// Cut the shuffled IDs into 1..len random contiguous parts: one
+		// random interleaving of partial batches across the stripes.
+		var parts [][]int
+		for len(ids) > 0 {
+			n := 1 + rng.Intn(len(ids))
+			parts = append(parts, ids[:n])
+			ids = ids[n:]
+		}
+
+		numNodes := db.Graph().NumNodes()
+		epochs0 := make([]uint64, numNodes)
+		for i := range epochs0 {
+			epochs0[i] = db.fc.epochs[i].Load()
+		}
+		len0 := db.Graph().Length()
+
+		for pi, part := range parts {
+			batch := make(map[int]float64, len(part))
+			for _, id := range part {
+				batch[id] = 30 + 50*rng.Float64()
+			}
+			if err := db.InsertBatch(batch); err != nil {
+				t.Errorf("part %d: %v", pi, err)
+				return false
+			}
+			last := pi == len(parts)-1
+			if !last {
+				if got := db.Graph().Length(); got != len0 {
+					t.Errorf("time advanced after partial batch: length %d != %d", got, len0)
+					return false
+				}
+				if b := db.Stats().Batches; b != 0 {
+					t.Errorf("batch advanced early: batches = %d", b)
+					return false
+				}
+				for i := range epochs0 {
+					if e := db.fc.epochs[i].Load(); e != epochs0[i] {
+						t.Errorf("node %d epoch bumped before advance: %d -> %d", i, epochs0[i], e)
+						return false
+					}
+				}
+			}
+		}
+
+		if got := db.Graph().Length(); got != len0+1 {
+			t.Errorf("length %d after complete batch, want %d", got, len0+1)
+			return false
+		}
+		if b := db.Stats().Batches; b != 1 {
+			t.Errorf("batches = %d, want 1", b)
+			return false
+		}
+		if p := db.Stats().PendingInserts; p != 0 {
+			t.Errorf("pending = %d after advance", p)
+			return false
+		}
+		for i := range epochs0 {
+			if e := db.fc.epochs[i].Load(); e != epochs0[i]+1 {
+				t.Errorf("node %d epoch %d, want %d (exactly one bump per advance)", i, e, epochs0[i]+1)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStripeDuplicateSemantics: a value for a base series already pending
+// in the current batch is an error on both write paths, exactly as with
+// the single pending map, and does not disturb the pending count.
+func TestStripeDuplicateSemantics(t *testing.T) {
+	db, _, _ := testEngine(t, nil)
+	ids := db.Graph().BaseIDs()
+
+	if err := db.InsertBase(ids[0], 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertBase(ids[0], 51); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate InsertBase: err = %v", err)
+	}
+	if err := db.InsertBatch(map[int]float64{ids[0]: 52, ids[1]: 53}); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate InsertBatch: err = %v", err)
+	}
+	// Values routed before the duplicate stuck remain pending (documented
+	// InsertBatch semantics); which ones depends on stripe order, so finish
+	// the batch per value, tolerating duplicates for those already landed.
+	for _, id := range ids[1:] {
+		if err := db.InsertBase(id, 54); err != nil && !strings.Contains(err.Error(), "duplicate") {
+			t.Fatal(err)
+		}
+	}
+	if got := db.Stats().Batches; got != 1 {
+		t.Fatalf("batches = %d, want 1", got)
+	}
+	if p := db.Stats().PendingInserts; p != 0 {
+		t.Fatalf("pending = %d, want 0", p)
+	}
+}
+
+// TestStripeSnapshotMidBatch: a snapshot taken with a half-filled batch
+// restores its pending values into any stripe layout — the stripe count is
+// a runtime knob, not part of the image format.
+func TestStripeSnapshotMidBatch(t *testing.T) {
+	src, _, _ := testEngine(t, nil)
+	ids := src.Graph().BaseIDs()
+	for _, id := range ids[:3] {
+		if err := src.InsertBase(id, 61); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := SaveDatabase(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	for _, stripes := range []int{-1, 2, 8} {
+		db, err := LoadDatabase(bytes.NewReader(buf.Bytes()), Options{Stripes: stripes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := db.Stats().PendingInserts; p != 3 {
+			t.Fatalf("stripes=%d: pending = %d after restore, want 3", stripes, p)
+		}
+		rest := make(map[int]float64)
+		for _, id := range ids[3:] {
+			rest[id] = 62
+		}
+		wantLen := db.Graph().Length() + 1
+		if err := db.InsertBatch(rest); err != nil {
+			t.Fatal(err)
+		}
+		if got := db.Graph().Length(); got != wantLen {
+			t.Fatalf("stripes=%d: length %d, want %d", stripes, got, wantLen)
+		}
+	}
+}
+
+// TestStripeGuardWitness: exclusive-only paths must refuse to run without
+// the write lock — the guard replaces the old exclusive-flag convention
+// with an assertion that fails loudly.
+func TestStripeGuardWitness(t *testing.T) {
+	db, _, _ := testEngine(t, nil)
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: assertExclusive did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero guard", func() { db.assertExclusive(guard{}) })
+	mustPanic("read guard", func() {
+		g := db.rLock()
+		defer db.unlock(g)
+		db.assertExclusive(g)
+	})
+	// Forged exclusive guard without the lock held: the writeHeld check
+	// catches it.
+	mustPanic("forged guard", func() { db.assertExclusive(guard{exclusive: true}) })
+
+	g := db.wLock()
+	db.assertExclusive(g) // must not panic
+	db.unlock(g)
+}
+
+// TestStripeRouting pins the routing function's contract: deterministic,
+// in-range for every stripe count, total over the base set, and degenerate
+// to stripe 0 for a single stripe.
+func TestStripeRouting(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		shift := stripeShiftFor(n)
+		if 1<<shift != n {
+			t.Fatalf("stripeShiftFor(%d) = %d", n, shift)
+		}
+		for id := 0; id < 2048; id++ {
+			si := stripeIndex(id, shift)
+			if si < 0 || si >= n {
+				t.Fatalf("stripeIndex(%d, %d) = %d out of [0,%d)", id, shift, si, n)
+			}
+			if si != stripeIndex(id, shift) {
+				t.Fatalf("stripeIndex not deterministic for id %d", id)
+			}
+			if n == 1 && si != 0 {
+				t.Fatalf("single stripe must route everything to 0, got %d", si)
+			}
+		}
+	}
+
+	for opt, want := range map[int]int{-5: 1, -1: 1, 1: 1, 2: 2, 3: 4, 5: 8, 8: 8, 200: 256, 10000: 256} {
+		if got := resolveStripeCount(opt); got != want {
+			t.Fatalf("resolveStripeCount(%d) = %d, want %d", opt, got, want)
+		}
+	}
+	auto := resolveStripeCount(0)
+	if auto < 1 || auto > maxWriteStripes || auto&(auto-1) != 0 {
+		t.Fatalf("resolveStripeCount(0) = %d: not a bounded power of two", auto)
+	}
+
+	// The per-stripe base counts reported by Metrics must agree with the
+	// routing function and cover every base series.
+	db, _, _ := testEngine(t, nil)
+	m := db.Metrics()
+	want := make([]int, m.WriteStripes)
+	for _, id := range db.Graph().BaseIDs() {
+		want[stripeIndex(id, db.stripeShift)]++
+	}
+	total := 0
+	for i, b := range m.StripeBases {
+		if b != want[i] {
+			t.Fatalf("stripe %d: bases = %d, want %d", i, b, want[i])
+		}
+		total += b
+	}
+	if total != db.Graph().NumBase() {
+		t.Fatalf("stripe bases sum to %d, want %d", total, db.Graph().NumBase())
+	}
+}
+
+// TestStripeMetrics: per-stripe pending depths must track the pending
+// counter through partial fills and an advance.
+func TestStripeMetrics(t *testing.T) {
+	db, _, _ := testEngine(t, nil)
+	ids := db.Graph().BaseIDs()
+	for _, id := range ids[:5] {
+		if err := db.InsertBase(id, 47); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := db.Metrics()
+	sum := 0
+	for _, p := range m.StripePending {
+		sum += p
+	}
+	if sum != 5 || db.Stats().PendingInserts != 5 {
+		t.Fatalf("stripe pending sums to %d (stats %d), want 5", sum, db.Stats().PendingInserts)
+	}
+	rest := make(map[int]float64)
+	for _, id := range ids[5:] {
+		rest[id] = 48
+	}
+	if err := db.InsertBatch(rest); err != nil {
+		t.Fatal(err)
+	}
+	m = db.Metrics()
+	for i, p := range m.StripePending {
+		if p != 0 {
+			t.Fatalf("stripe %d pending = %d after advance", i, p)
+		}
+	}
+}

@@ -8,6 +8,8 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"sync"
 	"time"
 
 	"cubefc/internal/cube"
@@ -54,6 +56,34 @@ func (w *Generator) QuerySQL(nodeID, steps int) string {
 	}
 	sql += fmt.Sprintf(" GROUP BY time AS OF now() + '%d steps'", steps)
 	return sql
+}
+
+// SplitBatch partitions a full insert batch into n sub-batches of near-equal
+// size (keyed by base node ID, ascending), one per concurrent insert stream.
+// Applying every part — in any order, from any number of goroutines —
+// completes the same time advance as applying the original batch at once.
+func SplitBatch(batch map[int]float64, n int) []map[int]float64 {
+	if n < 1 {
+		n = 1
+	}
+	ids := make([]int, 0, len(batch))
+	for id := range batch {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	parts := make([]map[int]float64, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*len(ids)/n, (i+1)*len(ids)/n
+		if lo == hi {
+			continue
+		}
+		part := make(map[int]float64, hi-lo)
+		for _, id := range ids[lo:hi] {
+			part[id] = batch[id]
+		}
+		parts = append(parts, part)
+	}
+	return parts
 }
 
 // NextBatch synthesizes the next time-stamp value for every base series:
@@ -115,6 +145,12 @@ type Options struct {
 	// time instead of the batched InsertBatch write path (slower; useful
 	// for comparing the two and for interleaving queries mid-batch).
 	PerPointInserts bool
+	// InsertWriters drives each time advance from this many parallel
+	// insert streams: the batch is split into InsertWriters disjoint parts
+	// applied by concurrent goroutines, exercising the engine's striped
+	// write path. 0 or 1 keeps the single sequential stream. Ignored when
+	// PerPointInserts is set.
+	InsertWriters int
 }
 
 // Run executes the interleaved workload against the engine: for every time
@@ -169,8 +205,27 @@ func Run(db *f2db.DB, gen *Generator, opts Options) (RunResult, error) {
 		}
 		// Batched write path: the engine locks are taken once for the
 		// whole time advance; the query/insert ratio is preserved by
-		// issuing the batch's query share afterwards.
-		if err := db.InsertBatch(batch); err != nil {
+		// issuing the batch's query share afterwards. With InsertWriters
+		// > 1 the advance is driven by parallel streams over disjoint
+		// parts of the batch (the striped write path's target workload).
+		if opts.InsertWriters > 1 {
+			parts := SplitBatch(batch, opts.InsertWriters)
+			errs := make([]error, len(parts))
+			var wg sync.WaitGroup
+			for i, part := range parts {
+				wg.Add(1)
+				go func(i int, part map[int]float64) {
+					defer wg.Done()
+					errs[i] = db.InsertBatch(part)
+				}(i, part)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return res, err
+				}
+			}
+		} else if err := db.InsertBatch(batch); err != nil {
 			return res, err
 		}
 		res.Inserts += len(batch)

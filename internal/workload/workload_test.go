@@ -100,3 +100,50 @@ func TestGeneratorDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestSplitBatchPartition(t *testing.T) {
+	db, gen, _ := testDB(t)
+	batch := gen.NextBatch()
+	for _, n := range []int{1, 3, 8, len(batch), len(batch) + 5} {
+		parts := SplitBatch(batch, n)
+		total := 0
+		seen := make(map[int]bool)
+		for _, part := range parts {
+			if len(part) == 0 {
+				t.Fatalf("n=%d: empty part emitted", n)
+			}
+			for id, v := range part {
+				if seen[id] {
+					t.Fatalf("n=%d: node %d in two parts", n, id)
+				}
+				seen[id] = true
+				if v != batch[id] {
+					t.Fatalf("n=%d: node %d value %v != %v", n, id, v, batch[id])
+				}
+				total++
+			}
+		}
+		if total != len(batch) {
+			t.Fatalf("n=%d: parts cover %d values, want %d", n, total, len(batch))
+		}
+	}
+	_ = db
+}
+
+func TestRunParallelWriters(t *testing.T) {
+	db, gen, _ := testDB(t)
+	res, err := Run(db, gen, Options{TimePoints: 3, QueriesPerInsert: 1, InsertWriters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInserts := 3 * db.Graph().NumBase()
+	if res.Inserts != wantInserts {
+		t.Fatalf("inserts = %d, want %d", res.Inserts, wantInserts)
+	}
+	if db.Stats().Batches != 3 {
+		t.Fatalf("batches = %d, want 3 (parallel streams must complete each advance)", db.Stats().Batches)
+	}
+	if db.Stats().PendingInserts != 0 {
+		t.Fatalf("pending = %d after run", db.Stats().PendingInserts)
+	}
+}
