@@ -163,6 +163,13 @@ type DB struct {
 	deps map[int][]int
 
 	met engineMetrics
+
+	// testHookAfterSweep, when non-nil, runs inside advanceIfComplete after
+	// the stripe sweep but before the pending counter is rebalanced — the
+	// window in which a lock-free insert can race an in-flight advance.
+	// Tests use it to land a racing insert deterministically; always nil in
+	// production.
+	testHookAfterSweep func()
 }
 
 // Options configures Open.
@@ -634,7 +641,10 @@ func (db *DB) InsertBatch(values map[int]float64) (err error) {
 				i++
 			}
 			s.mu.Unlock()
-			if db.pendingTotal.Load() == numBases {
+			// >=, not ==: while an advance is mid-sweep, racing next-batch
+			// inserts into already-swept stripes can push the counter past
+			// numBases transiently; exact equality would skip the help-advance.
+			if db.pendingTotal.Load() >= numBases {
 				// Either this call completed the batch, or it ran into its
 				// own earlier value re-offered against an already-complete
 				// batch another inserter has not applied yet: apply (or
@@ -676,7 +686,15 @@ func (db *DB) advanceIfComplete() error {
 		s.depth.Store(0)
 		s.mu.Unlock()
 	}
-	db.pendingTotal.Store(0)
+	if db.testHookAfterSweep != nil {
+		db.testHookAfterSweep()
+	}
+	// Decrement by exactly the number of values collected, never reset to
+	// zero: inserters hold no engine lock, so a next-batch value can land in
+	// an already-swept stripe (and increment pendingTotal) before we get
+	// here — a Store(0) would erase that increment, permanently undercount
+	// the buffers and stop the completion check from ever firing again.
+	db.pendingTotal.Add(-int64(len(batch)))
 	db.advanceGen.Add(1)
 	return db.advanceBatch(g, batch)
 }

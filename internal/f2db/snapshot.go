@@ -30,23 +30,32 @@ type dbImage struct {
 func SaveDatabase(w io.Writer, db *DB) error {
 	g := db.rLock()
 	defer db.unlock(g)
-	// Copy the in-flight batch stripe by stripe (lock order: mu before any
-	// stripe mutex). Holding the shared engine lock pins the batch advance
-	// (it needs mu exclusively), so no stripe buffer can be swapped out
-	// mid-walk and the copy is consistent with the graph state captured
-	// below; pending values added concurrently to a not-yet-visited stripe
-	// are simply part of the snapshot, exactly as they were under the old
-	// single pending map. The stripe count is a runtime tuning knob, not
-	// data: the image stays a flat member-key map, so a snapshot taken
-	// with one stripe layout restores under any other.
+	// Copy the in-flight batch under ALL stripe locks at once, acquired in
+	// index order (lock order: mu before any stripe mutex; nothing else
+	// ever holds two stripe locks, so ordered acquisition cannot deadlock).
+	// Holding the shared engine lock pins the batch advance (it needs mu
+	// exclusively), and holding every stripe lock makes the copy one
+	// point-in-time cut across stripes rather than a stripe-by-stripe walk
+	// that concurrent inserts could interleave with. Note the guarantee is
+	// per *value*, not per InsertBatch call: a striped InsertBatch applies
+	// its values stripe group by stripe group without holding all its locks
+	// at once, so a snapshot racing an InsertBatch may capture some of that
+	// call's values and not others — weaker than the old single pending-map
+	// lock, which made the copy atomic with an entire InsertBatch call. The
+	// stripe count is a runtime tuning knob, not data: the image stays a
+	// flat member-key map, so a snapshot taken with one stripe layout
+	// restores under any other.
+	for i := range db.stripes {
+		db.stripes[i].lock()
+	}
 	pending := make(map[int]float64, len(db.graph.BaseIDs))
 	for i := range db.stripes {
-		s := &db.stripes[i]
-		s.lock()
-		for id, v := range s.pending {
+		for id, v := range db.stripes[i].pending {
 			pending[id] = v
 		}
-		s.mu.Unlock()
+	}
+	for i := range db.stripes {
+		db.stripes[i].mu.Unlock()
 	}
 
 	img := dbImage{

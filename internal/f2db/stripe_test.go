@@ -2,13 +2,16 @@ package f2db
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 // Tests for the striped write path (stripe.go, DESIGN.md §6). The twin
@@ -73,9 +76,9 @@ func splitRoundRobin(batch map[int]float64, n int) []map[int]float64 {
 // forecasts for every node and horizon, and identical Stats counters.
 func TestStripeTwinEngines(t *testing.T) {
 	const (
-		rounds          = 5
-		writers         = 8
-		readers         = 4
+		rounds           = 5
+		writers          = 8
+		readers          = 4
 		queriesPerReader = 25
 	)
 	striped, seq := stripedTwins(t, writers)
@@ -229,6 +232,154 @@ func TestStripeInsertBaseConcurrent(t *testing.T) {
 				t.Fatalf("node %d: %v != %v", id, a[i], b[i])
 			}
 		}
+	}
+}
+
+// TestStripeAdvanceInsertRace hammers the one window the other harnesses
+// barely reach: inserts landing while an advance is mid-sweep. Writers are
+// partitioned over the base series and free-run through many consecutive
+// batches with no barrier per advance, so a fast writer's next-batch value
+// routinely arrives in a stripe the in-flight advance has already swept. A
+// lost pendingTotal update in that window wedges the engine — the
+// completion check never fires again and every insert reports a spurious
+// duplicate — so each writer gives up after a deadline instead of retrying
+// forever, turning the wedge into a test failure rather than a hang.
+func TestStripeAdvanceInsertRace(t *testing.T) {
+	const (
+		rounds  = 300
+		writers = 4
+	)
+	// Max out the stripe count: the advance sweep visits every stripe in
+	// turn, so more stripes stretch the sweep and with it the window in
+	// which a racing insert can land in an already-swept stripe.
+	striped, _ := stripedTwins(t, maxWriteStripes)
+	ids := striped.Graph().BaseIDs()
+	len0 := striped.Graph().Length()
+
+	var wedged atomic.Bool
+	timer := time.AfterFunc(time.Minute, func() { wedged.Store(true) })
+	defer timer.Stop()
+
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		var own []int
+		for i, id := range ids {
+			if i%writers == w {
+				own = append(own, id)
+			}
+		}
+		wg.Add(1)
+		go func(w int, own []int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for _, id := range own {
+					v := 20 + float64(r)*2 + float64(id)*0.125
+					for {
+						err := striped.InsertBase(id, v)
+						if err == nil {
+							break
+						}
+						if !strings.Contains(err.Error(), "duplicate") {
+							errs[w] = err
+							return
+						}
+						if wedged.Load() {
+							errs[w] = fmt.Errorf("writer %d wedged retrying node %d in round %d: advance never applied", w, id, r)
+							return
+						}
+						runtime.Gosched()
+					}
+				}
+			}
+		}(w, own)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got, want := striped.Stats().Batches, rounds; got != want {
+		t.Fatalf("batches = %d, want %d", got, want)
+	}
+	if got, want := striped.Graph().Length(), len0+rounds; got != want {
+		t.Fatalf("length = %d, want %d", got, want)
+	}
+	if p := striped.Stats().PendingInserts; p != 0 {
+		t.Fatalf("pending = %d after %d complete rounds", p, rounds)
+	}
+}
+
+// TestStripeAdvanceCounterRace pins the lost-update window deterministically:
+// via the test hook it lands an insert inside an in-flight advance, after
+// the sweep has cleared the stripe buffers but before the pending counter
+// is rebalanced. The racing value's increment must survive the advance —
+// resetting the counter to zero instead of decrementing by the collected
+// count would erase it, leave pendingTotal permanently undercounting the
+// buffers, and wedge the engine: the next complete batch would never
+// advance and every further insert would report a spurious duplicate.
+func TestStripeAdvanceCounterRace(t *testing.T) {
+	db, _, _ := testEngine(t, nil)
+	ids := db.Graph().BaseIDs()
+	racedID := ids[0]
+
+	numBases := int64(len(ids))
+	fired := false
+	var racer sync.WaitGroup
+	var racerErr error
+	db.testHookAfterSweep = func() {
+		db.testHookAfterSweep = nil // fire on the first advance only
+		fired = true
+		// The racing insert must run on its own goroutine: the buffers
+		// still hold the full batch's count, so after landing its value the
+		// racer tries to help-advance and blocks on the write lock until
+		// the in-flight advance completes (exactly what a free-running
+		// producer does in this window). The hook only waits for the
+		// value's increment to land — i.e. for the race to be established —
+		// before letting the advance proceed to the counter rebalance.
+		racer.Add(1)
+		go func() {
+			defer racer.Done()
+			racerErr = db.InsertBase(racedID, 90)
+		}()
+		for db.pendingTotal.Load() <= numBases {
+			runtime.Gosched()
+		}
+	}
+	for _, id := range ids {
+		if err := db.InsertBase(id, 80); err != nil {
+			t.Fatal(err)
+		}
+	}
+	racer.Wait()
+	if racerErr != nil {
+		t.Fatalf("racing insert: %v", racerErr)
+	}
+	if !fired {
+		t.Fatal("advance hook never fired")
+	}
+	if got := db.Stats().Batches; got != 1 {
+		t.Fatalf("batches = %d, want 1", got)
+	}
+	if p := db.Stats().PendingInserts; p != 1 {
+		t.Fatalf("pending = %d after raced advance, want 1 (raced increment lost)", p)
+	}
+
+	// The next batch must still complete and advance: the raced value is
+	// part of it, and its surviving increment is what lets the completion
+	// check fire.
+	for _, id := range ids[1:] {
+		if err := db.InsertBase(id, 90); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.Stats().Batches; got != 2 {
+		t.Fatalf("batches = %d, want 2: advance never fired after raced insert", got)
+	}
+	if p := db.Stats().PendingInserts; p != 0 {
+		t.Fatalf("pending = %d, want 0", p)
 	}
 }
 
