@@ -44,14 +44,26 @@ func main() {
 	period := flag.Int("period", 1, "seasonal period for -csv data")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus-format engine metrics on this address (e.g. :9090)")
 	stripes := flag.Int("stripes", 0, "write stripes sharding the insert path (0 = near GOMAXPROCS, rounded to a power of two; negative = single stripe)")
+	parallelism := flag.Int("parallelism", 0, "worker pool size for off-lock model re-estimation (0 = GOMAXPROCS)")
+	eager := flag.Bool("eager-reestimate", false, "re-fit invalidated models right after the batch advance instead of lazily on first query")
+	coldRefit := flag.Bool("cold-refit", false, "disable warm-started re-estimation (full cold parameter search on every re-fit)")
 	flag.Parse()
+	engineOpts := func() f2db.Options {
+		return f2db.Options{
+			Strategy:        f2db.TimeBased{Every: 8},
+			Stripes:         *stripes,
+			Parallelism:     *parallelism,
+			EagerReestimate: *eager,
+			ColdRefit:       *coldRefit,
+		}
+	}
 
 	if *dbPath != "" {
 		fh, err := os.Open(*dbPath)
 		if err != nil {
 			fail(err)
 		}
-		db, err := f2db.LoadDatabase(fh, f2db.Options{Strategy: f2db.TimeBased{Every: 8}, Stripes: *stripes})
+		db, err := f2db.LoadDatabase(fh, engineOpts())
 		cerr := fh.Close()
 		if err != nil {
 			fail(err)
@@ -125,7 +137,7 @@ func main() {
 		cfg = c
 		fmt.Printf("done: error=%.4f models=%d\n", cfg.Error(), cfg.NumModels())
 	}
-	db, err := f2db.Open(g, cfg, f2db.Options{Strategy: f2db.TimeBased{Every: 8}, Stripes: *stripes})
+	db, err := f2db.Open(g, cfg, engineOpts())
 	if err != nil {
 		fail(err)
 	}

@@ -36,6 +36,21 @@ type Advisor struct {
 	// scheme evaluation cheap.
 	modelFc map[int][]float64
 
+	// warmSeeds holds, per (node, model family), the parameter vector of
+	// that node's most recent fit. When a node is re-fitted in a later
+	// iteration — a candidate rejected by eq. 8 but re-selected after the
+	// α schedule moved — the optimizer seeds from the node's own previous
+	// optimum (forecast.WarmStarter): the training window is fixed for the
+	// whole run, so the re-fit converges to the same parameters at a
+	// fraction of the cold search cost. Seeds are deliberately NOT shared
+	// across nodes: a different series has a different optimum, and
+	// cross-seeding was measured to steer fits into different local optima
+	// and change which models the advisor accepts. The map is written only
+	// from the sequential post-fit paths (evaluate's results loop,
+	// addModel), never while the parallel fit goroutines run, so every fit
+	// of an iteration reads the same deterministic snapshot.
+	warmSeeds map[warmKey][]float64
+
 	rejected map[int]bool // nodes marked never to be selected again
 
 	alpha   float64
@@ -95,16 +110,17 @@ func NewAdvisor(g *cube.Graph, opts Options) (*Advisor, error) {
 		return nil, fmt.Errorf("core: series too short: %d observations", g.Length)
 	}
 	a := &Advisor{
-		g:        g,
-		opts:     opts,
-		cfg:      NewConfiguration(g, trainLen),
-		locals:   make(map[int]*indicator.Local),
-		candLoc:  make(map[int]*indicator.Local),
-		global:   indicator.NewGlobal(g.NumNodes()),
-		modelFc:  make(map[int][]float64),
-		rejected: make(map[int]bool),
-		alpha:    opts.Alpha0,
-		rng:      rand.New(rand.NewSource(opts.Seed)),
+		g:         g,
+		opts:      opts,
+		cfg:       NewConfiguration(g, trainLen),
+		locals:    make(map[int]*indicator.Local),
+		candLoc:   make(map[int]*indicator.Local),
+		global:    indicator.NewGlobal(g.NumNodes()),
+		modelFc:   make(map[int][]float64),
+		warmSeeds: make(map[warmKey][]float64),
+		rejected:  make(map[int]bool),
+		alpha:     opts.Alpha0,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
 	}
 	if a.opts.Indicator.HistoryLen <= 0 || a.opts.Indicator.HistoryLen > trainLen {
 		a.opts.Indicator.HistoryLen = trainLen
@@ -202,7 +218,7 @@ func (a *Advisor) setScheme(sc derivation.Scheme, err float64) {
 // fitWithFallback fits the configured model family, degrading to simpler
 // families when the training series is too short for the requested one.
 func (a *Advisor) fitWithFallback(id int) (forecast.Model, time.Duration, error) {
-	m, d, err := a.cfg.FitModel(a.opts.ModelFactory, id, a.opts.CreationDelay)
+	m, d, err := a.cfg.FitModel(a.warmed(a.opts.ModelFactory, id), id, a.opts.CreationDelay)
 	if err == nil {
 		return m, d, nil
 	}
@@ -213,13 +229,50 @@ func (a *Advisor) fitWithFallback(id int) (forecast.Model, time.Duration, error)
 	} {
 		var m2 forecast.Model
 		var d2 time.Duration
-		m2, d2, err = a.cfg.FitModel(fb, id, 0)
+		m2, d2, err = a.cfg.FitModel(a.warmed(fb, id), id, 0)
 		if err == nil {
 			return m2, d + d2, nil
 		}
 		d += d2
 	}
 	return nil, d, fmt.Errorf("core: no model family fits node %d: %w", id, err)
+}
+
+// warmed wraps a model factory so that freshly constructed models of a
+// warm-startable family are seeded from the parameters of the last accepted
+// model of that family before Fit runs. The seed is one-shot and guarded by
+// the model's own fallback rule, so a stale seed costs at most a bounded
+// warm probe before the cold search runs anyway.
+// warmKey identifies a warm seed: the node whose series was fitted and the
+// model family the parameters belong to.
+type warmKey struct {
+	node   int
+	family string
+}
+
+// warmed wraps a factory so the built model seeds its optimizer from the
+// node's previous fit of the same family, when one exists.
+func (a *Advisor) warmed(f forecast.Factory, id int) forecast.Factory {
+	return func(period int) forecast.Model {
+		m := f(period)
+		if ws, ok := m.(forecast.WarmStarter); ok {
+			if seed, ok := a.warmSeeds[warmKey{id, m.Name()}]; ok {
+				ws.WarmStart(seed)
+			}
+		}
+		return m
+	}
+}
+
+// recordSeed stores a fitted model's parameters as the warm seed for a
+// future re-fit of the same node and family. Callers must be on a
+// sequential path (never inside evaluate's parallel fit goroutines).
+func (a *Advisor) recordSeed(id int, m forecast.Model) {
+	if ws, ok := m.(forecast.WarmStarter); ok {
+		if p := ws.Params(); p != nil {
+			a.warmSeeds[warmKey{id, m.Name()}] = p
+		}
+	}
 }
 
 // installInitialModel creates the first model at the top node, derives every
@@ -239,6 +292,7 @@ func (a *Advisor) installInitialModel() error {
 // and (re-)assigns improving schemes for every node it can serve.
 func (a *Advisor) addModel(id int, m forecast.Model, dur time.Duration) {
 	a.cfg.Models[id] = m
+	a.recordSeed(id, m)
 	secs := dur.Seconds()
 	a.cfg.ModelSeconds[id] = secs
 	a.cfg.CostSeconds += secs
@@ -548,6 +602,10 @@ func (a *Advisor) evaluate(ranked []int) (created, accepted, rejected int) {
 			rejected++
 			continue
 		}
+		// Seed regardless of acceptance: a candidate rejected by eq. 8 may
+		// be re-selected after the α schedule moves, and its re-fit then
+		// warm-starts from this fit's optimum.
+		a.recordSeed(r.id, r.m)
 		created++
 		if a.acceptModel(r.id, r.m, r.dur) {
 			accepted++

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -162,6 +163,13 @@ type DB struct {
 	// model invalidates exactly these nodes' memoized forecasts.
 	deps map[int][]int
 
+	// parallelism bounds the off-lock re-estimation worker pool; eager
+	// selects re-fitting right after the invalidating advance, coldRefit
+	// suppresses warm-started fits. See Options.
+	parallelism int
+	eager       bool
+	coldRefit   bool
+
 	met engineMetrics
 
 	// testHookAfterSweep, when non-nil, runs inside advanceIfComplete after
@@ -170,6 +178,12 @@ type DB struct {
 	// Tests use it to land a racing insert deterministically; always nil in
 	// production.
 	testHookAfterSweep func()
+	// testHookBeforeInstall, when non-nil, runs in reestimateNode after the
+	// off-lock fit but before the install lock is taken — the window in
+	// which a batch advance makes the fitted clone stale. Tests use it to
+	// force a generation conflict deterministically; always nil in
+	// production.
+	testHookBeforeInstall func()
 }
 
 // Options configures Open.
@@ -190,6 +204,19 @@ type Options struct {
 	// (capped at 256). Negative forces a single stripe — the pre-striping
 	// global-lock layout, kept for baseline benchmarks.
 	Stripes int
+	// Parallelism bounds the worker pool that re-fits invalidated models
+	// off the exclusive lock (eager maintenance and lazy query pre-fits).
+	// 0 picks GOMAXPROCS.
+	Parallelism int
+	// EagerReestimate re-fits models right after the batch advance that
+	// invalidated them instead of waiting for a query to reference them
+	// (the lazy default, Section V). The fits run off the exclusive lock
+	// on the worker pool, so queries and inserts proceed concurrently.
+	EagerReestimate bool
+	// ColdRefit disables warm-started re-estimation: every re-fit runs the
+	// full cold parameter search instead of seeding the optimizer from the
+	// model's previous parameters. Kept for baseline benchmarks.
+	ColdRefit bool
 }
 
 // Default cache capacities applied by Open when the option is zero.
@@ -221,6 +248,12 @@ func Open(g *cube.Graph, cfg *core.Configuration, opts Options) (*DB, error) {
 		schemes:      make(map[int]*schemeState),
 		stripes:      make([]writeStripe, nstripes),
 		stripeShift:  stripeShiftFor(nstripes),
+		parallelism:  opts.Parallelism,
+		eager:        opts.EagerReestimate,
+		coldRefit:    opts.ColdRefit,
+	}
+	if db.parallelism <= 0 {
+		db.parallelism = runtime.GOMAXPROCS(0)
 	}
 	for _, id := range g.BaseIDs {
 		db.stripeFor(id).bases++
@@ -351,6 +384,12 @@ func (db *DB) ForecastNode(nodeID, h int) ([]float64, error) {
 	if err != errNeedsReestimate {
 		return fc, err
 	}
+	// Lazy re-estimation: re-fit the invalidated source models off the
+	// exclusive lock first, so the retry below holds the write lock only
+	// for derivation. If a concurrent advance invalidated the models again
+	// the retry re-fits them under the lock — the pre-stripe fallback that
+	// guarantees progress.
+	db.reestimateMany(db.invalidSources([]int{nodeID}))
 	g = db.wLock()
 	defer db.unlock(g)
 	fc, _, _, err = db.forecastIntervalLocked(g, nodeID, h, 0)
@@ -484,14 +523,32 @@ func (db *DB) deriveInterval(g guard, nodeID, h int, conf float64) (point, lo, h
 }
 
 // reestimate re-fits a model's parameters on the node's full current
-// history and bumps the epoch of the model node and of every node whose
-// derivation scheme reads the model, invalidating their memoized forecasts.
-// The guard must witness the write lock.
+// history while holding the write lock. It is the fallback of the off-lock
+// protocol (reestimateNode): lazy queries whose off-lock pre-fit lost a
+// generation race land here, where no advance can interleave. The guard
+// must witness the write lock.
 func (db *DB) reestimate(g guard, id int, m forecast.Model) error {
 	db.assertExclusive(g)
+	if !db.coldRefit {
+		if ws, ok := m.(forecast.WarmStarter); ok {
+			ws.WarmStart(ws.Params())
+		}
+	}
 	if err := m.Fit(db.graph.Nodes[id].Series); err != nil {
 		return fmt.Errorf("f2db: re-estimating node %d: %w", id, err)
 	}
+	db.installModel(g, id, m)
+	return nil
+}
+
+// installModel publishes a freshly fitted model: stores it, clears the
+// invalid flag, resets the maintenance statistics and bumps the epoch of
+// the model node and of every node whose derivation scheme reads the model,
+// invalidating their memoized forecasts. The guard must witness the write
+// lock.
+func (db *DB) installModel(g guard, id int, m forecast.Model) {
+	db.assertExclusive(g)
+	db.cfg.Models[id] = m
 	db.invalid[id] = false
 	st := db.mstats[id]
 	st.UpdatesSinceFit = 0
@@ -504,7 +561,6 @@ func (db *DB) reestimate(g guard, id int, m forecast.Model) error {
 		}
 		db.met.epochBumps.Add(bumped)
 	}
-	return nil
 }
 
 // Insert adds one new measure value for the base series identified by its
@@ -670,9 +726,9 @@ func (db *DB) InsertBatch(values map[int]float64) (err error) {
 // and return.
 func (db *DB) advanceIfComplete() error {
 	g := db.wLock()
-	defer db.unlock(g)
 	numBases := int64(len(db.graph.BaseIDs))
 	if db.pendingTotal.Load() < numBases {
+		db.unlock(g)
 		return nil
 	}
 	batch := make(map[int]float64, numBases)
@@ -696,7 +752,19 @@ func (db *DB) advanceIfComplete() error {
 	// the buffers and stop the completion check from ever firing again.
 	db.pendingTotal.Add(-int64(len(batch)))
 	db.advanceGen.Add(1)
-	return db.advanceBatch(g, batch)
+	err := db.advanceBatch(g, batch)
+	// Eager maintenance: collect the models this advance invalidated while
+	// still under the lock, then re-fit them on the off-lock worker pool so
+	// concurrent queries and inserts are never blocked by the fits.
+	var invalid []int
+	if err == nil && db.eager {
+		invalid = db.invalidModelIDs()
+	}
+	db.unlock(g)
+	if len(invalid) > 0 {
+		db.reestimateMany(invalid)
+	}
+	return err
 }
 
 // advanceBatch processes a complete batch: appends the new values to every

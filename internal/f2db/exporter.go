@@ -38,6 +38,7 @@ func writePrometheus(w http.ResponseWriter, db *DB) {
 	counter("f2db_insert_batches_total", "InsertBatch calls.", m.BatchInserts)
 	counter("f2db_maintenance_batches_total", "Completed time advances.", m.Batches)
 	counter("f2db_reestimations_total", "Model parameter re-estimations.", m.Reestimations)
+	counter("f2db_reestimate_gen_retries_total", "Off-lock re-fits redone after a generation conflict.", m.ReestimateGenRetries)
 	seconds := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
 	}

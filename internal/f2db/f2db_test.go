@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -15,8 +16,9 @@ import (
 )
 
 // testEngine builds a small cube (product × city→region), runs the advisor
-// and opens an engine over the result.
-func testEngine(t *testing.T, strategy InvalidationStrategy) (*DB, *cube.Graph, *core.Configuration) {
+// and opens an engine over the result. testing.TB so fuzz targets can build
+// seed images from the same engine.
+func testEngine(t testing.TB, strategy InvalidationStrategy) (*DB, *cube.Graph, *core.Configuration) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(5))
 	loc, err := cube.NewHierarchy("location", []string{"city", "region"},
@@ -695,6 +697,67 @@ func TestDatabaseSnapshotRoundTrip(t *testing.T) {
 	}
 	if db2.Stats().Batches != 1 {
 		t.Fatalf("batches = %d, want 1", db2.Stats().Batches)
+	}
+}
+
+// TestSnapshotPlanWarmup: SaveDatabase persists the normalized texts of the
+// cached query plans and LoadDatabase re-plans them, so a recurring query
+// hits the plan cache on the restored engine's very first execution — no
+// post-restart parse-and-resolve misses for the recurring workload.
+func TestSnapshotPlanWarmup(t *testing.T) {
+	db, _, _ := testEngine(t, nil)
+	queries := []string{
+		"SELECT time, SUM(m) FROM facts AS OF now() + '2 steps'",
+		"SELECT time, SUM(m) FROM facts WHERE city = 'C1' AS OF now() + '1 step'",
+		"SELECT time, AVG(m) FROM facts WHERE product = 'P2' GROUP BY time",
+	}
+	for _, q := range queries {
+		if _, err := db.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := SaveDatabase(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	db2, err := LoadDatabase(bytes.NewReader(data), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := db2.Metrics().PlanCacheSize, len(queries); got != want {
+		t.Fatalf("restored plan cache holds %d plans, want %d", got, want)
+	}
+	// Warming replayed least recently used first, so the restored LRU order
+	// matches the saved engine's exactly.
+	if got, want := db2.plans.keys(), db.plans.keys(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored LRU order %q, want %q", got, want)
+	}
+	before := db2.Metrics()
+	res, err := db2.Query(queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("warmed plan produced no rows")
+	}
+	after := db2.Metrics()
+	if after.PlanCacheHits != before.PlanCacheHits+1 {
+		t.Fatalf("plan cache hits %d -> %d, want a hit on the first post-restore query",
+			before.PlanCacheHits, after.PlanCacheHits)
+	}
+	if after.PlanCacheMisses != before.PlanCacheMisses {
+		t.Fatalf("plan cache misses %d -> %d, want no new miss", before.PlanCacheMisses, after.PlanCacheMisses)
+	}
+
+	// A restore with plan caching disabled ignores the persisted texts.
+	db3, err := LoadDatabase(bytes.NewReader(data), Options{PlanCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db3.Query(queries[0]); err != nil {
+		t.Fatal(err)
 	}
 }
 

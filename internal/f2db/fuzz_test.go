@@ -1,6 +1,8 @@
 package f2db
 
 import (
+	"bytes"
+	"math"
 	"reflect"
 	"testing"
 )
@@ -48,6 +50,106 @@ func FuzzParseSQL(f *testing.F) {
 		}
 		if again := stmt2.String(); again != rendered {
 			t.Fatalf("canonical form not a fixed point: %q -> %q", rendered, again)
+		}
+	})
+}
+
+// insertStmtsEqual compares parsed INSERT statements with NaN treated as
+// equal to itself: "NaN" is a lexable ident that ParseFloat accepts, so a
+// NaN measure must round-trip even though NaN != NaN.
+func insertStmtsEqual(a, b *insertStmt) bool {
+	if a.table != b.table || len(a.rows) != len(b.rows) {
+		return false
+	}
+	for i := range a.rows {
+		if !reflect.DeepEqual(a.rows[i].members, b.rows[i].members) {
+			return false
+		}
+		av, bv := a.rows[i].value, b.rows[i].value
+		if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzParseInsert is the INSERT-path twin of FuzzParseSQL: the parser never
+// panics, and accepted statements round-trip through the canonical renderer
+// (insertStmt.String) to an identical statement and a fixed-point rendering.
+// Corpus under testdata/fuzz/FuzzParseInsert.
+func FuzzParseInsert(f *testing.F) {
+	seeds := []string{
+		"INSERT INTO facts VALUES ('holiday', 'NSW', 123.4)",
+		"INSERT INTO facts VALUES ('P1', 'C1', 1), ('P1', 'C2', 2.5), ('P2', 'C1', 0.125)",
+		"insert into facts values ('a', 0)",
+		"INSERT INTO facts VALUES (42)",
+		"INSERT INTO facts VALUES ('m', NaN)",
+		"INSERT INTO facts VALUES ('m', Inf)",
+		"INSERT INTO facts VALUES ('m', 0x1p10)",
+		"INSERT INTO facts VALUES ('', 1e3)",
+		"INSERT INTO facts VALUES ('a' 1)",
+		"INSERT INTO facts VALUES ('a', 1),",
+		"INSERT INTO facts VALUES",
+		"INSERT INTO facts VALUES ('a', 1) trailing",
+		"SELECT time FROM facts",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		stmt, err := parseInsert(sql) // must not panic
+		if err != nil {
+			return
+		}
+		rendered := stmt.String()
+		stmt2, err := parseInsert(rendered)
+		if err != nil {
+			t.Fatalf("canonical form rejected:\n  input:    %q\n  rendered: %q\n  err: %v", sql, rendered, err)
+		}
+		if !insertStmtsEqual(stmt, stmt2) {
+			t.Fatalf("round-trip changed the statement:\n  input:    %q\n  rendered: %q\n  first:  %+v\n  second: %+v",
+				sql, rendered, stmt, stmt2)
+		}
+		if again := stmt2.String(); again != rendered {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", rendered, again)
+		}
+	})
+}
+
+// FuzzLoadDatabase feeds arbitrary bytes to the snapshot decoder. The only
+// property is robustness: LoadDatabase returns an error on anything that is
+// not a valid image — it never panics — and an image it does accept yields
+// an engine that answers a forecast without panicking. Seeds are a valid
+// SaveDatabase image plus truncated and bit-flipped corruptions of it, so
+// the fuzzer starts at the decoder's deep paths instead of gob's magic
+// bytes.
+func FuzzLoadDatabase(f *testing.F) {
+	src, _, _ := testEngine(f, nil)
+	var buf bytes.Buffer
+	if err := SaveDatabase(&buf, src); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(append([]byte(nil), valid...))
+	for _, cut := range []int{0, 1, len(valid) / 2, len(valid) - 1} {
+		f.Add(append([]byte(nil), valid[:cut]...))
+	}
+	for _, pos := range []int{8, len(valid) / 3, 2 * len(valid) / 3} {
+		flipped := append([]byte(nil), valid...)
+		flipped[pos] ^= 0xff
+		f.Add(flipped)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return // bound decode cost; the seed image is ~20 KiB
+		}
+		db, err := LoadDatabase(bytes.NewReader(data), Options{})
+		if err != nil {
+			return
+		}
+		if _, err := db.ForecastNode(db.Graph().TopID(), 1); err != nil {
+			t.Logf("restored engine rejected forecast: %v", err)
 		}
 	})
 }

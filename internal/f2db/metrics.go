@@ -111,10 +111,14 @@ type engineMetrics struct {
 	batchInserts  atomic.Int64
 	batches       atomic.Int64
 	reestimations atomic.Int64
-	queryNanos    atomic.Int64
-	maintainNanos atomic.Int64
-	schemeHits    [derivationKinds]atomic.Int64
-	latency       histogram
+	// reestimateGenRetries counts off-lock re-fits dropped because a batch
+	// advance bumped the generation counter while the fit ran (the fit is
+	// redone on a fresh snapshot).
+	reestimateGenRetries atomic.Int64
+	queryNanos           atomic.Int64
+	maintainNanos        atomic.Int64
+	schemeHits           [derivationKinds]atomic.Int64
+	latency              histogram
 
 	// Read-fast-path counters: SQL plan cache and forecast memo table.
 	planHits      atomic.Int64
@@ -149,10 +153,13 @@ type Metrics struct {
 	Queries int64
 	// Inserts, Batches and Reestimations mirror the maintenance
 	// processor: raw inserts, completed time advances, and model
-	// re-fits (lazy or maintenance-triggered).
-	Inserts       int64
-	Batches       int64
-	Reestimations int64
+	// re-fits (lazy or maintenance-triggered). ReestimateGenRetries
+	// counts off-lock re-fits discarded because a concurrent batch
+	// advance made the fitted snapshot stale (the fit was redone).
+	Inserts              int64
+	Batches              int64
+	Reestimations        int64
+	ReestimateGenRetries int64
 	// QueryTime and MaintainTime accumulate engine-side wall time.
 	QueryTime    time.Duration
 	MaintainTime time.Duration
@@ -205,15 +212,16 @@ type Metrics struct {
 // hits and the query-latency histogram.
 func (db *DB) Metrics() Metrics {
 	m := Metrics{
-		Queries:       db.met.queries.Load(),
-		Inserts:       db.met.inserts.Load(),
-		BatchInserts:  db.met.batchInserts.Load(),
-		Batches:       db.met.batches.Load(),
-		Reestimations: db.met.reestimations.Load(),
-		QueryTime:     time.Duration(db.met.queryNanos.Load()),
-		MaintainTime:  time.Duration(db.met.maintainNanos.Load()),
-		SchemeHits:    make(map[string]int64, derivationKinds),
-		QueryLatency:  db.met.latency.snapshot(),
+		Queries:              db.met.queries.Load(),
+		Inserts:              db.met.inserts.Load(),
+		BatchInserts:         db.met.batchInserts.Load(),
+		Batches:              db.met.batches.Load(),
+		Reestimations:        db.met.reestimations.Load(),
+		ReestimateGenRetries: db.met.reestimateGenRetries.Load(),
+		QueryTime:            time.Duration(db.met.queryNanos.Load()),
+		MaintainTime:         time.Duration(db.met.maintainNanos.Load()),
+		SchemeHits:           make(map[string]int64, derivationKinds),
+		QueryLatency:         db.met.latency.snapshot(),
 
 		PlanCacheHits:      db.met.planHits.Load(),
 		PlanCacheMisses:    db.met.planMisses.Load(),
@@ -253,8 +261,8 @@ func (db *DB) Metrics() Metrics {
 // String renders the metrics in the compact form used by the CLI's \stats
 // command.
 func (m Metrics) String() string {
-	out := fmt.Sprintf("queries=%d inserts=%d batches=%d reestimations=%d\n",
-		m.Queries, m.Inserts, m.Batches, m.Reestimations)
+	out := fmt.Sprintf("queries=%d inserts=%d batches=%d reestimations=%d gen-retries=%d\n",
+		m.Queries, m.Inserts, m.Batches, m.Reestimations, m.ReestimateGenRetries)
 	out += fmt.Sprintf("query-time=%v maintenance-time=%v\n", m.QueryTime, m.MaintainTime)
 	out += fmt.Sprintf("plan-cache: hits=%d misses=%d evictions=%d size=%d\n",
 		m.PlanCacheHits, m.PlanCacheMisses, m.PlanCacheEvictions, m.PlanCacheSize)

@@ -106,7 +106,8 @@ func (c *planCache) len() int {
 	return c.ll.Len()
 }
 
-// keys returns the cached keys from most to least recently used (tests).
+// keys returns the cached keys from most to least recently used (snapshot
+// plan-warmup persistence and tests).
 func (c *planCache) keys() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()

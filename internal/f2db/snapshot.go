@@ -23,7 +23,20 @@ type dbImage struct {
 	Config       []byte // nested configuration image (SaveConfiguration)
 	Pending      map[string]float64
 	StepDuration time.Duration
+	// PlanTexts are the normalized texts of the hottest cached query plans,
+	// most recently used first, so a restored engine starts with a warm plan
+	// cache instead of paying a parse-and-resolve miss per recurring query.
+	// gob tolerates the field being absent, so snapshots from before plan
+	// persistence still load (with a cold cache).
+	PlanTexts []string
 }
+
+// planWarmupLimit caps how many plan texts a snapshot carries. Plans
+// themselves are not serialized — only the query texts, which re-plan in
+// microseconds on restore — so the cap bounds image growth, not restore
+// cost. 64 keeps the hot quarter of the default 256-entry cache — the
+// recurring dashboard-style statements warmup exists for.
+const planWarmupLimit = 64
 
 // SaveDatabase serializes the whole engine state. It holds the shared read
 // lock for the duration: concurrent queries proceed, maintenance waits.
@@ -77,6 +90,12 @@ func SaveDatabase(w io.Writer, db *DB) error {
 	for id, v := range pending {
 		img.Pending[db.graph.Nodes[id].Key(db.graph.Dims)] = v
 	}
+	if db.plans != nil {
+		img.PlanTexts = db.plans.keys()
+		if len(img.PlanTexts) > planWarmupLimit {
+			img.PlanTexts = img.PlanTexts[:planWarmupLimit]
+		}
+	}
 	var cfgBuf bytes.Buffer
 	if err := SaveConfiguration(&cfgBuf, db.cfg); err != nil {
 		return err
@@ -121,6 +140,16 @@ func LoadDatabase(r io.Reader, opts Options) (*DB, error) {
 	if len(pending) > 0 {
 		if err := db.InsertBatch(pending); err != nil {
 			return nil, err
+		}
+	}
+	// Warm the plan cache from the persisted query texts, least recently
+	// used first so LRU order on the new engine matches the saved one. A
+	// text that fails to plan is skipped, not fatal: the snapshot may have
+	// been hand-edited or the cache disabled in opts, and a cold miss later
+	// is the worst outcome either way.
+	if db.plans != nil {
+		for i := len(img.PlanTexts) - 1; i >= 0; i-- {
+			_, _ = db.planQuery(img.PlanTexts[i])
 		}
 	}
 	return db, nil

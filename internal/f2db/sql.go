@@ -2,6 +2,7 @@ package f2db
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -73,81 +74,17 @@ type Result struct {
 // stripes and locks each stripe once for the whole statement instead of
 // once per row.
 func (db *DB) Exec(sql string) error {
-	toks, err := lex(sql)
+	stmt, err := parseInsert(sql)
 	if err != nil {
 		return err
 	}
-	p := &parser{toks: toks}
-	if err := p.expectKw("insert"); err != nil {
-		return err
-	}
-	if err := p.expectKw("into"); err != nil {
-		return err
-	}
-	if t := p.next(); t.kind != tokIdent {
-		return fmt.Errorf("f2db: expected table name, got %q", t.text)
-	}
-	if err := p.expectKw("values"); err != nil {
-		return err
-	}
-	type insertRow struct {
-		members []string
-		value   float64
-	}
-	var rows []insertRow
-	for {
-		if err := p.expectPunct("("); err != nil {
-			return err
-		}
-		var row insertRow
-		haveValue := false
-		for {
-			t := p.next()
-			switch t.kind {
-			case tokString:
-				if haveValue {
-					return fmt.Errorf("f2db: member value %q after measure", t.text)
-				}
-				row.members = append(row.members, t.text)
-			case tokIdent:
-				v, err := strconv.ParseFloat(t.text, 64)
-				if err != nil {
-					return fmt.Errorf("f2db: expected numeric measure, got %q", t.text)
-				}
-				row.value = v
-				haveValue = true
-			default:
-				return fmt.Errorf("f2db: unexpected token %q in VALUES", t.text)
-			}
-			if p.peek().kind == tokPunct && p.peek().text == "," {
-				p.next()
-				continue
-			}
-			break
-		}
-		if err := p.expectPunct(")"); err != nil {
-			return err
-		}
-		if !haveValue {
-			return fmt.Errorf("f2db: INSERT misses the measure value")
-		}
-		rows = append(rows, row)
-		if p.peek().kind == tokPunct && p.peek().text == "," {
-			p.next()
-			continue
-		}
-		break
-	}
-	if p.peek().kind != tokEOF {
-		return fmt.Errorf("f2db: trailing input %q", p.peek().text)
-	}
-	if len(rows) == 1 {
-		return db.Insert(rows[0].members, rows[0].value)
+	if len(stmt.rows) == 1 {
+		return db.Insert(stmt.rows[0].members, stmt.rows[0].value)
 	}
 	// Multi-row statement: resolve every row to its base node up front so a
 	// malformed row rejects the whole statement, then batch-insert.
-	values := make(map[int]float64, len(rows))
-	for _, row := range rows {
+	values := make(map[int]float64, len(stmt.rows))
+	for _, row := range stmt.rows {
 		id, err := db.resolveBase(row.members)
 		if err != nil {
 			return err
@@ -158,6 +95,128 @@ func (db *DB) Exec(sql string) error {
 		values[id] = row.value
 	}
 	return db.InsertBatch(values)
+}
+
+// insertStmt is a parsed INSERT statement: the target table and one or more
+// (members..., measure) rows. Parsing is purely syntactic — member values
+// are resolved against the graph by Exec, not here.
+type insertStmt struct {
+	table string
+	rows  []insertRow
+}
+
+type insertRow struct {
+	members []string
+	value   float64
+}
+
+// String renders the statement back into the dialect in canonical form:
+// parsing the rendered text yields an identical statement (the round-trip
+// property FuzzParseInsert checks). Measures render with FormatFloat 'f' —
+// never scientific notation, whose '+'/'-' the lexer's ident token cannot
+// re-lex — and a +Inf measure (reachable through ParseFloat accepting the
+// ident "Inf") renders as "Inf" for the same reason.
+func (s *insertStmt) String() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(s.table)
+	b.WriteString(" VALUES ")
+	for i, row := range s.rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for _, m := range row.members {
+			b.WriteString("'")
+			b.WriteString(m)
+			b.WriteString("', ")
+		}
+		if math.IsInf(row.value, 1) {
+			b.WriteString("Inf")
+		} else {
+			b.WriteString(strconv.FormatFloat(row.value, 'f', -1, 64))
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// parseInsert parses an INSERT statement:
+//
+//	INSERT INTO <table> VALUES ('<member1>', ..., <measure>)[, (...), ...]
+//
+// Each row lists one member value per dimension (checked by Exec, not the
+// parser) followed by exactly one numeric measure.
+func parseInsert(sql string) (*insertStmt, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if err := p.expectKw("insert"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("into"); err != nil {
+		return nil, err
+	}
+	tbl := p.next()
+	if tbl.kind != tokIdent {
+		return nil, fmt.Errorf("f2db: expected table name, got %q", tbl.text)
+	}
+	if err := p.expectKw("values"); err != nil {
+		return nil, err
+	}
+	stmt := &insertStmt{table: tbl.text}
+	for {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var row insertRow
+		haveValue := false
+		for {
+			t := p.next()
+			switch t.kind {
+			case tokString:
+				if haveValue {
+					return nil, fmt.Errorf("f2db: member value %q after measure", t.text)
+				}
+				row.members = append(row.members, t.text)
+			case tokIdent:
+				if haveValue {
+					return nil, fmt.Errorf("f2db: second measure %q in row", t.text)
+				}
+				v, err := strconv.ParseFloat(t.text, 64)
+				if err != nil {
+					return nil, fmt.Errorf("f2db: expected numeric measure, got %q", t.text)
+				}
+				row.value = v
+				haveValue = true
+			default:
+				return nil, fmt.Errorf("f2db: unexpected token %q in VALUES", t.text)
+			}
+			if p.peek().kind == tokPunct && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if !haveValue {
+			return nil, fmt.Errorf("f2db: INSERT misses the measure value")
+		}
+		stmt.rows = append(stmt.rows, row)
+		if p.peek().kind == tokPunct && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("f2db: trailing input %q", p.peek().text)
+	}
+	return stmt, nil
 }
 
 // Query parses and executes a (forecast) query. Queries constrained to one
@@ -183,6 +242,14 @@ func (db *DB) Query(sql string) (*Result, error) {
 	if err != errNeedsReestimate {
 		return res, err
 	}
+	// Lazy re-estimation: re-fit the invalidated source models of the
+	// plan's nodes off the exclusive lock, then retry under it (see
+	// ForecastNode).
+	ids := make([]int, len(plan.nodes))
+	for i, n := range plan.nodes {
+		ids[i] = n.ID
+	}
+	db.reestimateMany(db.invalidSources(ids))
 	g = db.wLock()
 	defer db.unlock(g)
 	return db.execPlan(plan, g)

@@ -37,6 +37,25 @@ type ARIMA struct {
 	History   []float64
 	Residuals []float64 // residuals aligned with the differenced series
 	IsFitted  bool
+
+	// Fit machinery (unexported, so gob skips it), reused across fits to
+	// keep re-estimation allocation-light.
+	warm     []float64
+	fitSc    arimaScratch
+	objFn    optimize.BoundedObjective
+	ws       optimize.NMWorkspace
+	usedWarm bool
+	fellBack bool
+}
+
+// arimaScratch holds the per-objective-evaluation buffers of one CSS fit.
+type arimaScratch struct {
+	w                        []float64 // differenced series (valid during Fit only)
+	phi, theta, sphi, stheta []float64
+	ar, ma                   []float64
+	res                      []float64
+	x0, cold                 []float64
+	mean                     float64
 }
 
 // NewARIMA returns an unfitted seasonal ARIMA model. period is the seasonal
@@ -152,6 +171,66 @@ func cssResiduals(w []float64, ar, ma []float64, c float64) []float64 {
 	return res
 }
 
+// expandPolyInto is expandPoly/expandNegPoly writing into dst's backing
+// array (grown as needed) without intermediate polynomial temporaries. ma
+// selects the MA sign convention (1 + Σ θ_i B^i) of expandNegPoly.
+func expandPolyInto(dst, coefs, scoefs []float64, period int, ma bool) []float64 {
+	n1, n2 := len(coefs), len(scoefs)*period
+	full := growFloats(dst, n1+n2+1)
+	for i := range full {
+		full[i] = 0
+	}
+	full[0] = 1
+	sign := -1.0
+	if ma {
+		sign = 1.0
+	}
+	for i, c := range coefs {
+		full[i+1] += sign * c
+	}
+	for j, c := range scoefs {
+		full[(j+1)*period] += sign * c
+		// Cross terms: (sign·c_i)·(sign·c_j) = c_i·c_j either way.
+		for i, ci := range coefs {
+			full[i+1+(j+1)*period] += ci * c
+		}
+	}
+	// Convert to coefficient form (a_i = -full[i] for AR, +full[i] for
+	// MA), shifting out lag 0 in place — writes trail reads.
+	for i := 1; i < len(full); i++ {
+		full[i-1] = sign * full[i]
+	}
+	return full[:n1+n2]
+}
+
+// cssSSE runs the CSS recursion writing residuals into res (len == len(w))
+// and returns the sum of squared residuals. Accumulation aborts once the
+// partial sum exceeds bound (res is then only partially filled); pass +Inf
+// for the full recursion.
+func cssSSE(w, ar, ma []float64, c float64, res []float64, bound float64) float64 {
+	var sse float64
+	for t := range w {
+		pred := c
+		for i, a := range ar {
+			if t-i-1 >= 0 {
+				pred += a * w[t-i-1]
+			}
+		}
+		for i, b := range ma {
+			if t-i-1 >= 0 {
+				pred += b * res[t-i-1]
+			}
+		}
+		e := w[t] - pred
+		res[t] = e
+		sse += e * e
+		if sse > bound {
+			return sse
+		}
+	}
+	return sse
+}
+
 // minObs returns the minimum observations needed to fit this model.
 func (m *ARIMA) minObs() int {
 	base := m.Ord.D + m.SOrd.D*m.Period
@@ -166,7 +245,99 @@ func (m *ARIMA) minObs() int {
 	return n
 }
 
-// Fit implements Model.
+// nmDim returns the Nelder-Mead search dimension (total coefficient count).
+func (m *ARIMA) nmDim() int {
+	return m.Ord.P + m.Ord.Q + m.SOrd.P + m.SOrd.Q
+}
+
+// unpackInto splits the optimizer vector x into the scratch coefficient
+// slices (clamped to the stationarity box) and returns the box penalty.
+func (m *ARIMA) unpackInto(x []float64) (pen float64) {
+	sc := &m.fitSc
+	sc.phi = growFloats(sc.phi, m.Ord.P)
+	sc.theta = growFloats(sc.theta, m.Ord.Q)
+	sc.sphi = growFloats(sc.sphi, m.SOrd.P)
+	sc.stheta = growFloats(sc.stheta, m.SOrd.Q)
+	k := 0
+	k, pen = grabCoefs(sc.phi, x, k, pen)
+	k, pen = grabCoefs(sc.theta, x, k, pen)
+	k, pen = grabCoefs(sc.sphi, x, k, pen)
+	_, pen = grabCoefs(sc.stheta, x, k, pen)
+	return pen
+}
+
+func grabCoefs(dst, x []float64, k int, pen float64) (int, float64) {
+	for i := range dst {
+		v := x[k]
+		k++
+		pen += penalty(v, -0.98, 0.98)
+		dst[i] = clamp01(v, -0.98, 0.98)
+	}
+	return k, pen
+}
+
+// cssObjective is the bounded conditional-sum-of-squares objective over the
+// differenced series in the fit scratch.
+func (m *ARIMA) cssObjective(x []float64, bound float64) float64 {
+	sc := &m.fitSc
+	pen := m.unpackInto(x)
+	sc.ar = expandPolyInto(sc.ar, sc.phi, sc.sphi, m.Period, false)
+	sc.ma = expandPolyInto(sc.ma, sc.theta, sc.stheta, m.Period, true)
+	// Constant chosen so the process mean matches the sample mean.
+	c := sc.mean * (1 - sum(sc.ar))
+	thresh := bound
+	if !math.IsInf(bound, 1) {
+		thresh = bound / (1 + pen)
+	}
+	sc.res = growFloats(sc.res, len(sc.w))
+	sse := cssSSE(sc.w, sc.ar, sc.ma, c, sc.res, thresh)
+	if math.IsNaN(sse) || math.IsInf(sse, 0) {
+		return math.Inf(1)
+	}
+	return sse * (1 + pen)
+}
+
+// Params implements WarmStarter: the concatenated coefficient vector in
+// unpack order (Phi, Theta, SPhi, STheta).
+func (m *ARIMA) Params() []float64 {
+	if !m.IsFitted || m.nmDim() == 0 {
+		return nil
+	}
+	out := make([]float64, 0, m.nmDim())
+	out = append(out, m.Phi...)
+	out = append(out, m.Theta...)
+	out = append(out, m.SPhi...)
+	out = append(out, m.STheta...)
+	return out
+}
+
+// WarmStart implements WarmStarter.
+func (m *ARIMA) WarmStart(p []float64) {
+	if len(p) == 0 || len(p) != m.nmDim() {
+		m.warm = m.warm[:0]
+		return
+	}
+	m.warm = append(m.warm[:0], p...)
+}
+
+// CloneModel implements Cloner.
+func (m *ARIMA) CloneModel() Model {
+	c := &ARIMA{
+		Ord: m.Ord, SOrd: m.SOrd, Period: m.Period,
+		Constant: m.Constant, IsFitted: m.IsFitted,
+	}
+	c.Phi = append([]float64(nil), m.Phi...)
+	c.Theta = append([]float64(nil), m.Theta...)
+	c.SPhi = append([]float64(nil), m.SPhi...)
+	c.STheta = append([]float64(nil), m.STheta...)
+	c.History = append([]float64(nil), m.History...)
+	c.Residuals = append([]float64(nil), m.Residuals...)
+	return c
+}
+
+// Fit implements Model. A pending WarmStart seed starts Nelder-Mead from
+// the previous coefficient vector with the same acceptance/fallback rule as
+// the smoothing models.
 func (m *ARIMA) Fit(s *timeseries.Series) error {
 	if s.Len() < m.minObs() {
 		return ErrTooShort
@@ -175,72 +346,55 @@ func (m *ARIMA) Fit(s *timeseries.Series) error {
 	if len(w) < 3 {
 		return ErrTooShort
 	}
+	sc := &m.fitSc
+	sc.w = w
 	var mean float64
 	for _, v := range w {
 		mean += v
 	}
-	mean /= float64(len(w))
+	sc.mean = mean / float64(len(w))
+	m.usedWarm, m.fellBack = false, false
 
-	np := m.Ord.P
-	nq := m.Ord.Q
-	nsp := m.SOrd.P
-	nsq := m.SOrd.Q
-	dim := np + nq + nsp + nsq
-	unpack := func(x []float64) (phi, theta, sphi, stheta []float64, pen float64) {
-		phi = make([]float64, np)
-		theta = make([]float64, nq)
-		sphi = make([]float64, nsp)
-		stheta = make([]float64, nsq)
-		k := 0
-		grab := func(dst []float64) {
-			for i := range dst {
-				v := x[k]
-				k++
-				pen += penalty(v, -0.98, 0.98)
-				dst[i] = clamp01(v, -0.98, 0.98)
-			}
-		}
-		grab(phi)
-		grab(theta)
-		grab(sphi)
-		grab(stheta)
-		return
-	}
-
-	css := func(x []float64) float64 {
-		phi, theta, sphi, stheta, pen := unpack(x)
-		ar := expandPoly(phi, sphi, m.Period)
-		ma := expandNegPoly(theta, stheta, m.Period)
-		// Constant chosen so the process mean matches the sample mean.
-		c := mean * (1 - sum(ar))
-		res := cssResiduals(w, ar, ma, c)
-		var sse float64
-		for _, e := range res {
-			sse += e * e
-		}
-		if math.IsNaN(sse) || math.IsInf(sse, 0) {
-			return math.Inf(1)
-		}
-		return sse * (1 + pen)
-	}
-
+	dim := m.nmDim()
 	if dim == 0 {
 		m.Phi, m.Theta, m.SPhi, m.STheta = nil, nil, nil, nil
 	} else {
-		x0 := make([]float64, dim)
-		for i := range x0 {
-			x0[i] = 0.1
+		if m.objFn == nil {
+			m.objFn = m.cssObjective
 		}
-		res := optimize.NelderMead(css, x0, optimize.NelderMeadOptions{MaxIter: 200 * dim})
-		m.Phi, m.Theta, m.SPhi, m.STheta, _ = unpack(res.X)
+		sc.cold = growFloats(sc.cold, dim)
+		for i := range sc.cold {
+			sc.cold[i] = 0.1
+		}
+		var res optimize.Result
+		if len(m.warm) == dim && finiteAll(m.warm) {
+			sc.x0 = growFloats(sc.x0, dim)
+			copy(sc.x0, m.warm)
+			res = optimize.NelderMeadBounded(m.objFn, sc.x0, warmNMOptions(dim, &m.ws))
+			if res.F <= m.objFn(sc.cold, math.Inf(1))*(1+warmAcceptTol) {
+				m.usedWarm = true
+			} else {
+				m.fellBack = true
+			}
+		}
+		m.warm = m.warm[:0]
+		if !m.usedWarm {
+			res = optimize.NelderMeadBounded(m.objFn, sc.cold,
+				optimize.NelderMeadOptions{MaxIter: 200 * dim, Workspace: &m.ws})
+		}
+		m.unpackInto(res.X)
+		m.Phi = append(m.Phi[:0], sc.phi...)
+		m.Theta = append(m.Theta[:0], sc.theta...)
+		m.SPhi = append(m.SPhi[:0], sc.sphi...)
+		m.STheta = append(m.STheta[:0], sc.stheta...)
 	}
 	ar := expandPoly(m.Phi, m.SPhi, m.Period)
-	m.Constant = mean * (1 - sum(ar))
+	m.Constant = sc.mean * (1 - sum(ar))
 	ma := expandNegPoly(m.Theta, m.STheta, m.Period)
 	m.Residuals = cssResiduals(w, ar, ma, m.Constant)
-	m.History = make([]float64, s.Len())
-	copy(m.History, s.Values)
+	m.History = append(m.History[:0], s.Values...)
 	m.IsFitted = true
+	sc.w = nil
 	return nil
 }
 

@@ -234,9 +234,10 @@ func TestHoltWintersUpdateMatchesRefit(t *testing.T) {
 		m.Update(v)
 	}
 	m2 := &HoltWinters{Period: 4, Mode: Additive, Alpha: m.Alpha, Beta: m.Beta, Gamma: m.Gamma}
-	_, st := m2.hwReplay(s.Values, m.Alpha, m.Beta, m.Gamma)
-	if math.Abs(st.level-m.Level) > 1e-9 || math.Abs(st.trend-m.Trend) > 1e-9 {
-		t.Fatalf("Update state (l=%v b=%v) != replay state (l=%v b=%v)", m.Level, m.Trend, st.level, st.trend)
+	season := make([]float64, 4)
+	_, level, trend := m2.hwReplay(s.Values, m.Alpha, m.Beta, m.Gamma, season, math.Inf(1))
+	if math.Abs(level-m.Level) > 1e-9 || math.Abs(trend-m.Trend) > 1e-9 {
+		t.Fatalf("Update state (l=%v b=%v) != replay state (l=%v b=%v)", m.Level, m.Trend, level, trend)
 	}
 }
 

@@ -14,6 +14,15 @@ type SES struct {
 	Level    float64
 	ResidStd float64
 	IsFitted bool
+
+	// Fit machinery, reused across fits so a warm re-fit allocates
+	// nothing. sseVals is only set for the duration of one Fit call;
+	// sseFn is a persistent closure over it.
+	warm     seed3
+	sseVals  []float64
+	sseFn    func(float64) float64
+	usedWarm bool
+	fellBack bool
 }
 
 // NewSES returns an unfitted simple-exponential-smoothing model.
@@ -28,23 +37,75 @@ func (m *SES) NParams() int { return 1 }
 // Fitted implements Model.
 func (m *SES) Fitted() bool { return m.IsFitted }
 
-// Fit implements Model.
+// Params implements WarmStarter.
+func (m *SES) Params() []float64 {
+	if !m.IsFitted {
+		return nil
+	}
+	return []float64{m.Alpha}
+}
+
+// WarmStart implements WarmStarter.
+func (m *SES) WarmStart(p []float64) {
+	if len(p) != 1 {
+		m.warm.clear()
+		return
+	}
+	m.warm.set(p)
+}
+
+// CloneModel implements Cloner.
+func (m *SES) CloneModel() Model {
+	return &SES{Alpha: m.Alpha, Level: m.Level, ResidStd: m.ResidStd, IsFitted: m.IsFitted}
+}
+
+// Fit implements Model. A pending WarmStart seed narrows the golden-section
+// bracket to ±sesWarmRadius around the seed; if the minimizer pins against
+// a narrowed edge (the optimum moved outside the bracket — e.g. a regime
+// change) the fit falls back to the full cold bracket.
 func (m *SES) Fit(s *timeseries.Series) error {
 	if s.Len() < 2 {
 		return ErrTooShort
 	}
-	sse := func(alpha float64) float64 {
-		level := s.Values[0]
-		var acc float64
-		for _, x := range s.Values[1:] {
-			e := x - level
-			acc += e * e
-			level = alpha*x + (1-alpha)*level
+	const lo, hi = 1e-4, 1 - 1e-4
+	if m.sseFn == nil {
+		m.sseFn = func(alpha float64) float64 {
+			vals := m.sseVals
+			level := vals[0]
+			var acc float64
+			for _, x := range vals[1:] {
+				e := x - level
+				acc += e * e
+				level = alpha*x + (1-alpha)*level
+			}
+			return acc
 		}
-		return acc
 	}
-	var bestSSE float64
-	m.Alpha, bestSSE = optimize.GoldenSection(sse, 1e-4, 1-1e-4, 1e-6)
+	m.sseVals = s.Values
+	m.usedWarm, m.fellBack = false, false
+
+	var alpha, bestSSE float64
+	if m.warm.valid(1) {
+		seed := clamp01(m.warm.v[0], lo, hi)
+		wlo := math.Max(lo, seed-sesWarmRadius)
+		whi := math.Min(hi, seed+sesWarmRadius)
+		// A re-fit does not need the cold 1e-6 bracket: alpha to 1e-4 is
+		// below any forecast-visible precision (and still well inside
+		// sesEdgeTol, so edge detection is unaffected).
+		alpha, bestSSE = optimize.GoldenSection(m.sseFn, wlo, whi, 1e-4)
+		pinnedLo := wlo > lo && alpha-wlo < sesEdgeTol
+		pinnedHi := whi < hi && whi-alpha < sesEdgeTol
+		if pinnedLo || pinnedHi {
+			m.fellBack = true
+		} else {
+			m.usedWarm = true
+		}
+	}
+	m.warm.clear()
+	if !m.usedWarm {
+		alpha, bestSSE = optimize.GoldenSection(m.sseFn, lo, hi, 1e-6)
+	}
+	m.Alpha = alpha
 	m.ResidStd = math.Sqrt(bestSSE / float64(s.Len()-1))
 	// Replay to initialize the state at the end of the series.
 	m.Level = s.Values[0]
@@ -52,6 +113,7 @@ func (m *SES) Fit(s *timeseries.Series) error {
 		m.Level = m.Alpha*x + (1-m.Alpha)*m.Level
 	}
 	m.IsFitted = true
+	m.sseVals = nil
 	return nil
 }
 
@@ -81,6 +143,17 @@ type Holt struct {
 	Level, Trend     float64
 	ResidStd         float64
 	IsFitted         bool
+
+	// Fit machinery, reused across fits so a warm re-fit allocates
+	// nothing (persistent bounded objective, Nelder-Mead workspace,
+	// fixed-size start-point buffers).
+	warm             seed3
+	objVals          []float64
+	objFn            optimize.BoundedObjective
+	ws               optimize.NMWorkspace
+	startBuf, coldX0 [3]float64
+	usedWarm         bool
+	fellBack         bool
 }
 
 // NewHolt returns an unfitted Holt linear-trend model.
@@ -105,62 +178,126 @@ func (m *Holt) NParams() int {
 // Fitted implements Model.
 func (m *Holt) Fitted() bool { return m.IsFitted }
 
-// holtSSE replays the Holt recurrence and returns the in-sample SSE.
-// The final level/trend state is written into the provided pointers when
-// they are non-nil.
-func holtSSE(values []float64, alpha, beta, phi float64, outLevel, outTrend *float64) float64 {
-	level := values[0]
-	trend := values[1] - values[0]
-	var acc float64
+// holtReplay runs the Holt recurrence over values, returning the in-sample
+// SSE and the final level/trend state. The accumulation aborts once the
+// partial SSE exceeds bound (the returned state is then meaningless); pass
+// +Inf for the full replay.
+func holtReplay(values []float64, alpha, beta, phi, bound float64) (sse, level, trend float64) {
+	level = values[0]
+	trend = values[1] - values[0]
 	for _, x := range values[1:] {
 		fc := level + phi*trend
 		e := x - fc
-		acc += e * e
+		sse += e * e
+		if sse > bound {
+			return sse, level, trend
+		}
 		newLevel := alpha*x + (1-alpha)*fc
 		trend = beta*(newLevel-level) + (1-beta)*phi*trend
 		level = newLevel
 	}
-	if outLevel != nil {
-		*outLevel = level
-	}
-	if outTrend != nil {
-		*outTrend = trend
-	}
-	return acc
+	return sse, level, trend
 }
 
-// Fit implements Model.
+// nmDim returns the Nelder-Mead search dimension.
+func (m *Holt) nmDim() int {
+	if m.Damped {
+		return 3
+	}
+	return 2
+}
+
+// holtObjective is the bounded in-sample SSE objective over m.objVals.
+func (m *Holt) holtObjective(p []float64, bound float64) float64 {
+	alpha := clamp01(p[0], 1e-4, 1-1e-4)
+	beta := clamp01(p[1], 1e-4, 1-1e-4)
+	phi := 1.0
+	pen := penalty(p[0], 1e-4, 1-1e-4) + penalty(p[1], 1e-4, 1-1e-4)
+	if m.Damped {
+		phi = clamp01(p[2], 0.8, 0.999)
+		pen += penalty(p[2], 0.8, 0.999)
+	}
+	// The objective is sse·(1+pen), so sse may stop accumulating once it
+	// exceeds bound/(1+pen): the returned product is then still > bound.
+	thresh := bound
+	if !math.IsInf(bound, 1) {
+		thresh = bound / (1 + pen)
+	}
+	sse, _, _ := holtReplay(m.objVals, alpha, beta, phi, thresh)
+	return sse * (1 + pen)
+}
+
+// Params implements WarmStarter.
+func (m *Holt) Params() []float64 {
+	if !m.IsFitted {
+		return nil
+	}
+	if m.Damped {
+		return []float64{m.Alpha, m.Beta, m.Phi}
+	}
+	return []float64{m.Alpha, m.Beta}
+}
+
+// WarmStart implements WarmStarter.
+func (m *Holt) WarmStart(p []float64) {
+	if len(p) != m.nmDim() {
+		m.warm.clear()
+		return
+	}
+	m.warm.set(p)
+}
+
+// CloneModel implements Cloner.
+func (m *Holt) CloneModel() Model {
+	return &Holt{
+		Alpha: m.Alpha, Beta: m.Beta, Phi: m.Phi, Damped: m.Damped,
+		Level: m.Level, Trend: m.Trend, ResidStd: m.ResidStd, IsFitted: m.IsFitted,
+	}
+}
+
+// Fit implements Model. A pending WarmStart seed starts Nelder-Mead from
+// the previous optimum under a reduced iteration cap; if the warm result
+// regresses past warmAcceptTol above the objective at the cold starting
+// point, the full cold search runs instead (and, starting from that very
+// point, cannot do worse).
 func (m *Holt) Fit(s *timeseries.Series) error {
 	if s.Len() < 3 {
 		return ErrTooShort
 	}
-	obj := func(p []float64) float64 {
-		alpha := clamp01(p[0], 1e-4, 1-1e-4)
-		beta := clamp01(p[1], 1e-4, 1-1e-4)
-		phi := 1.0
-		if m.Damped {
-			phi = clamp01(p[2], 0.8, 0.999)
-		}
-		pen := penalty(p[0], 1e-4, 1-1e-4) + penalty(p[1], 1e-4, 1-1e-4)
-		if m.Damped {
-			pen += penalty(p[2], 0.8, 0.999)
-		}
-		return holtSSE(s.Values, alpha, beta, phi, nil, nil) * (1 + pen)
+	if m.objFn == nil {
+		m.objFn = m.holtObjective
 	}
-	x0 := []float64{0.5, 0.1}
-	if m.Damped {
-		x0 = append(x0, 0.95)
+	m.objVals = s.Values
+	m.usedWarm, m.fellBack = false, false
+
+	dim := m.nmDim()
+	m.coldX0[0], m.coldX0[1], m.coldX0[2] = 0.5, 0.1, 0.95
+	var res optimize.Result
+	if m.warm.valid(dim) {
+		copy(m.startBuf[:], m.warm.v[:])
+		res = optimize.NelderMeadBounded(m.objFn, m.startBuf[:dim], warmNMOptions(dim, &m.ws))
+		if res.F <= m.objFn(m.coldX0[:dim], math.Inf(1))*(1+warmAcceptTol) {
+			m.usedWarm = true
+		} else {
+			m.fellBack = true
+		}
 	}
-	res := optimize.NelderMead(obj, x0, optimize.NelderMeadOptions{})
+	m.warm.clear()
+	if !m.usedWarm {
+		res = optimize.NelderMeadBounded(m.objFn, m.coldX0[:dim],
+			optimize.NelderMeadOptions{Workspace: &m.ws})
+	}
 	m.Alpha = clamp01(res.X[0], 1e-4, 1-1e-4)
 	m.Beta = clamp01(res.X[1], 1e-4, 1-1e-4)
 	m.Phi = 1
 	if m.Damped {
 		m.Phi = clamp01(res.X[2], 0.8, 0.999)
 	}
-	finalSSE := holtSSE(s.Values, m.Alpha, m.Beta, m.Phi, &m.Level, &m.Trend)
+	finalSSE, level, trend := holtReplay(s.Values, m.Alpha, m.Beta, m.Phi, math.Inf(1))
+	m.Level, m.Trend = level, trend
 	m.ResidStd = math.Sqrt(finalSSE / float64(s.Len()-1))
 	m.IsFitted = true
+	m.objVals = nil
 	return nil
 }
 
@@ -239,6 +376,18 @@ type HoltWinters struct {
 	T                  int       // observations consumed (for season index)
 	ResidStd           float64
 	IsFitted           bool
+
+	// Fit machinery, reused across fits so a warm re-fit allocates
+	// nothing: the objective replays into seasonScratch, never into the
+	// live Season state.
+	warm             seed3
+	objVals          []float64
+	seasonScratch    []float64
+	objFn            optimize.BoundedObjective
+	ws               optimize.NMWorkspace
+	startBuf, coldX0 [3]float64
+	usedWarm         bool
+	fellBack         bool
 }
 
 // NewHoltWinters returns an unfitted Holt-Winters model for the given
@@ -262,16 +411,12 @@ func (m *HoltWinters) NParams() int { return 3 }
 // Fitted implements Model.
 func (m *HoltWinters) Fitted() bool { return m.IsFitted }
 
-// hwState carries the replayed smoothing state.
-type hwState struct {
-	level, trend float64
-	season       []float64
-	t            int
-}
-
-// hwReplay runs the Holt-Winters recurrence over values and returns the
-// in-sample SSE together with the final state.
-func (m *HoltWinters) hwReplay(values []float64, alpha, beta, gamma float64) (float64, hwState) {
+// hwReplay runs the Holt-Winters recurrence over values, writing the final
+// seasonal state into season (which must have length m.Period) and
+// returning the in-sample SSE with the final level/trend. The accumulation
+// aborts once the partial SSE exceeds bound (season and the returned state
+// are then meaningless); pass +Inf for the full replay.
+func (m *HoltWinters) hwReplay(values []float64, alpha, beta, gamma float64, season []float64, bound float64) (sse, level, trend float64) {
 	p := m.Period
 	// Initialization over the first two seasons.
 	var mean1, mean2 float64
@@ -281,9 +426,8 @@ func (m *HoltWinters) hwReplay(values []float64, alpha, beta, gamma float64) (fl
 	}
 	mean1 /= float64(p)
 	mean2 /= float64(p)
-	level := mean1
-	trend := (mean2 - mean1) / float64(p)
-	season := make([]float64, p)
+	level = mean1
+	trend = (mean2 - mean1) / float64(p)
 	for i := 0; i < p; i++ {
 		if m.Mode == Multiplicative {
 			if mean1 != 0 {
@@ -296,7 +440,6 @@ func (m *HoltWinters) hwReplay(values []float64, alpha, beta, gamma float64) (fl
 		}
 	}
 
-	var sse float64
 	for t := p; t < len(values); t++ {
 		si := t % p
 		x := values[t]
@@ -308,6 +451,9 @@ func (m *HoltWinters) hwReplay(values []float64, alpha, beta, gamma float64) (fl
 		}
 		e := x - fc
 		sse += e * e
+		if sse > bound {
+			return sse, level, trend
+		}
 
 		prevLevel := level
 		if m.Mode == Multiplicative {
@@ -326,10 +472,58 @@ func (m *HoltWinters) hwReplay(values []float64, alpha, beta, gamma float64) (fl
 			season[si] = gamma*(x-level) + (1-gamma)*season[si]
 		}
 	}
-	return sse, hwState{level: level, trend: trend, season: season, t: len(values)}
+	return sse, level, trend
 }
 
-// Fit implements Model. It requires at least two full seasons of data.
+// hwObjective is the bounded in-sample SSE objective over m.objVals,
+// replaying into seasonScratch.
+func (m *HoltWinters) hwObjective(p []float64, bound float64) float64 {
+	a := clamp01(p[0], 1e-4, 1-1e-4)
+	b := clamp01(p[1], 1e-4, 1-1e-4)
+	g := clamp01(p[2], 1e-4, 1-1e-4)
+	pen := penalty(p[0], 1e-4, 1-1e-4) + penalty(p[1], 1e-4, 1-1e-4) + penalty(p[2], 1e-4, 1-1e-4)
+	thresh := bound
+	if !math.IsInf(bound, 1) {
+		thresh = bound / (1 + pen)
+	}
+	sse, _, _ := m.hwReplay(m.objVals, a, b, g, m.seasonScratch, thresh)
+	return sse * (1 + pen)
+}
+
+// Params implements WarmStarter.
+func (m *HoltWinters) Params() []float64 {
+	if !m.IsFitted {
+		return nil
+	}
+	return []float64{m.Alpha, m.Beta, m.Gamma}
+}
+
+// WarmStart implements WarmStarter.
+func (m *HoltWinters) WarmStart(p []float64) {
+	if len(p) != 3 {
+		m.warm.clear()
+		return
+	}
+	m.warm.set(p)
+}
+
+// CloneModel implements Cloner.
+func (m *HoltWinters) CloneModel() Model {
+	c := &HoltWinters{
+		Period: m.Period, Mode: m.Mode,
+		Alpha: m.Alpha, Beta: m.Beta, Gamma: m.Gamma,
+		Level: m.Level, Trend: m.Trend, T: m.T,
+		ResidStd: m.ResidStd, IsFitted: m.IsFitted,
+	}
+	if m.Season != nil {
+		c.Season = append([]float64(nil), m.Season...)
+	}
+	return c
+}
+
+// Fit implements Model. It requires at least two full seasons of data. A
+// pending WarmStart seed starts Nelder-Mead from the previous optimum with
+// the same acceptance/fallback rule as Holt.Fit.
 func (m *HoltWinters) Fit(s *timeseries.Series) error {
 	if m.Period < 2 || s.Len() < 2*m.Period+1 {
 		return ErrTooShort
@@ -342,24 +536,42 @@ func (m *HoltWinters) Fit(s *timeseries.Series) error {
 			}
 		}
 	}
-	obj := func(p []float64) float64 {
-		a := clamp01(p[0], 1e-4, 1-1e-4)
-		b := clamp01(p[1], 1e-4, 1-1e-4)
-		g := clamp01(p[2], 1e-4, 1-1e-4)
-		pen := penalty(p[0], 1e-4, 1-1e-4) + penalty(p[1], 1e-4, 1-1e-4) + penalty(p[2], 1e-4, 1-1e-4)
-		sse, _ := m.hwReplay(s.Values, a, b, g)
-		return sse * (1 + pen)
+	if m.objFn == nil {
+		m.objFn = m.hwObjective
 	}
-	res := optimize.NelderMead(obj, []float64{0.3, 0.05, 0.1}, optimize.NelderMeadOptions{})
+	m.objVals = s.Values
+	m.seasonScratch = growFloats(m.seasonScratch, m.Period)
+	m.usedWarm, m.fellBack = false, false
+
+	m.coldX0[0], m.coldX0[1], m.coldX0[2] = 0.3, 0.05, 0.1
+	var res optimize.Result
+	if m.warm.valid(3) {
+		copy(m.startBuf[:], m.warm.v[:])
+		res = optimize.NelderMeadBounded(m.objFn, m.startBuf[:3], warmNMOptions(3, &m.ws))
+		if res.F <= m.objFn(m.coldX0[:3], math.Inf(1))*(1+warmAcceptTol) {
+			m.usedWarm = true
+		} else {
+			m.fellBack = true
+		}
+	}
+	m.warm.clear()
+	if !m.usedWarm {
+		res = optimize.NelderMeadBounded(m.objFn, m.coldX0[:3],
+			optimize.NelderMeadOptions{Workspace: &m.ws})
+	}
 	m.Alpha = clamp01(res.X[0], 1e-4, 1-1e-4)
 	m.Beta = clamp01(res.X[1], 1e-4, 1-1e-4)
 	m.Gamma = clamp01(res.X[2], 1e-4, 1-1e-4)
-	finalSSE, st := m.hwReplay(s.Values, m.Alpha, m.Beta, m.Gamma)
-	m.Level, m.Trend, m.Season, m.T = st.level, st.trend, st.season, st.t
+	if len(m.Season) != m.Period {
+		m.Season = make([]float64, m.Period)
+	}
+	finalSSE, level, trend := m.hwReplay(s.Values, m.Alpha, m.Beta, m.Gamma, m.Season, math.Inf(1))
+	m.Level, m.Trend, m.T = level, trend, s.Len()
 	if n := s.Len() - m.Period; n > 0 {
 		m.ResidStd = math.Sqrt(finalSSE / float64(n))
 	}
 	m.IsFitted = true
+	m.objVals = nil
 	return nil
 }
 

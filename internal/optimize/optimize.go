@@ -14,6 +14,15 @@ import (
 // Objective is a function to be minimized.
 type Objective func(x []float64) float64
 
+// BoundedObjective is an objective that may stop evaluating early once its
+// partial value provably exceeds bound. The contract: whenever the true
+// objective value is > bound, the implementation may return any value that
+// is also > bound (typically the partial accumulation at the abort point);
+// whenever the true value is <= bound, the exact value must be returned.
+// bound is +Inf when the caller needs the full value. Objectives that
+// ignore bound entirely satisfy the contract trivially.
+type BoundedObjective func(x []float64, bound float64) float64
+
 // Result reports the best point found and bookkeeping about the search.
 type Result struct {
 	X     []float64 // minimizing point
@@ -28,6 +37,46 @@ type NelderMeadOptions struct {
 	TolF    float64 // stop when simplex f-spread falls below TolF (default 1e-9)
 	TolX    float64 // stop when simplex x-spread falls below TolX (default 1e-9)
 	Step    float64 // initial simplex step per coordinate (default 0.1, or 0.00025 for zero coords)
+
+	// Workspace, when non-nil, supplies reusable simplex storage so
+	// repeated fits of the same dimensionality allocate nothing. The
+	// returned Result.X then aliases the workspace and is only valid
+	// until the next call that uses the same workspace; callers that
+	// keep the point must copy it out first.
+	Workspace *NMWorkspace
+}
+
+// NMWorkspace holds the vertex storage of one Nelder-Mead run. A zero
+// workspace is ready to use; it (re)allocates lazily when the problem
+// dimension changes and is reused verbatim otherwise. Not safe for
+// concurrent use.
+type NMWorkspace struct {
+	n        int
+	pts      [][]float64
+	fs       []float64
+	centroid []float64
+	xr, xe   []float64
+	xc       []float64
+	best     []float64
+}
+
+func (w *NMWorkspace) ensure(n int) {
+	if w.n == n && w.pts != nil {
+		return
+	}
+	w.n = n
+	// One backing array for all n+1 vertices keeps them cache-adjacent.
+	back := make([]float64, (n+1)*n)
+	w.pts = make([][]float64, n+1)
+	for i := range w.pts {
+		w.pts[i] = back[i*n : (i+1)*n : (i+1)*n]
+	}
+	w.fs = make([]float64, n+1)
+	w.centroid = make([]float64, n)
+	w.xr = make([]float64, n)
+	w.xe = make([]float64, n)
+	w.xc = make([]float64, n)
+	w.best = make([]float64, n)
 }
 
 func (o *NelderMeadOptions) defaults(n int) {
@@ -49,27 +98,62 @@ func (o *NelderMeadOptions) defaults(n int) {
 // simplex method with the standard reflection/expansion/contraction/shrink
 // coefficients (1, 2, 0.5, 0.5).
 func NelderMead(f Objective, x0 []float64, opts NelderMeadOptions) Result {
+	return NelderMeadBounded(func(x []float64, _ float64) float64 { return f(x) }, x0, opts)
+}
+
+// nmOrder insertion-sorts the simplex by objective value ascending (n is
+// small, so insertion sort beats anything fancier and allocates nothing).
+func nmOrder(pts [][]float64, fs []float64) {
+	for i := 1; i < len(pts); i++ {
+		p, v := pts[i], fs[i]
+		j := i - 1
+		for j >= 0 && fs[j] > v {
+			pts[j+1], fs[j+1] = pts[j], fs[j]
+			j--
+		}
+		pts[j+1], fs[j+1] = p, v
+	}
+}
+
+// NelderMeadBounded is NelderMead for a BoundedObjective: at each trial
+// point it passes the tightest bound that cannot change the search
+// trajectory, so objectives that honor the bound can abort the bulk of
+// their work on hopeless points while the visited simplex sequence stays
+// bit-for-bit identical to an unbounded run. The bounds per phase:
+//
+//   - initial simplex and shrink: +Inf (every value is kept as a vertex)
+//   - reflection: fs[worst] — fr only matters if it beats the worst vertex
+//     or fr itself, and every comparison against fr with fr > fs[worst]
+//     lands in the inside-contraction branch regardless of fr's magnitude
+//   - expansion: fr — fe is only used if fe < fr
+//   - contraction: min(fr, fs[worst]) — fc is only accepted below that
+//
+// Aborted (bound-exceeding) values are never stored as vertex values, so
+// inexact partial sums cannot leak into later comparisons.
+//
+// When opts.Workspace is set the simplex storage is reused and Result.X
+// aliases it; see NelderMeadOptions.Workspace.
+func NelderMeadBounded(f BoundedObjective, x0 []float64, opts NelderMeadOptions) Result {
 	n := len(x0)
 	if n == 0 {
-		return Result{X: nil, F: f(nil), Evals: 1}
+		return Result{X: nil, F: f(nil, math.Inf(1)), Evals: 1}
 	}
 	opts.defaults(n)
 
-	evals := 0
-	eval := func(x []float64) float64 {
-		evals++
-		v := f(x)
-		if math.IsNaN(v) {
-			return math.Inf(1)
-		}
-		return v
+	ws := opts.Workspace
+	if ws == nil {
+		ws = &NMWorkspace{}
 	}
+	ws.ensure(n)
+	pts, fs := ws.pts, ws.fs
+	centroid, xr, xe, xc := ws.centroid, ws.xr, ws.xe, ws.xc
+
+	inf := math.Inf(1)
+	evals := 0
 
 	// Build initial simplex.
-	pts := make([][]float64, n+1)
-	fs := make([]float64, n+1)
 	for i := range pts {
-		p := make([]float64, n)
+		p := pts[i]
 		copy(p, x0)
 		if i > 0 {
 			j := i - 1
@@ -79,31 +163,17 @@ func NelderMead(f Objective, x0 []float64, opts NelderMeadOptions) Result {
 				p[j] = 0.00025
 			}
 		}
-		pts[i] = p
-		fs[i] = eval(p)
-	}
-
-	order := func() {
-		// insertion sort by fs ascending (n is small).
-		for i := 1; i < len(pts); i++ {
-			p, v := pts[i], fs[i]
-			j := i - 1
-			for j >= 0 && fs[j] > v {
-				pts[j+1], fs[j+1] = pts[j], fs[j]
-				j--
-			}
-			pts[j+1], fs[j+1] = p, v
+		v := f(p, inf)
+		evals++
+		if math.IsNaN(v) {
+			v = inf
 		}
+		fs[i] = v
 	}
-
-	centroid := make([]float64, n)
-	xr := make([]float64, n)
-	xe := make([]float64, n)
-	xc := make([]float64, n)
 
 	iters := 0
 	for ; iters < opts.MaxIter; iters++ {
-		order()
+		nmOrder(pts, fs)
 		// Convergence checks.
 		fSpread := math.Abs(fs[n] - fs[0])
 		var xSpread float64
@@ -130,14 +200,22 @@ func NelderMead(f Objective, x0 []float64, opts NelderMeadOptions) Result {
 		for j := 0; j < n; j++ {
 			xr[j] = centroid[j] + (centroid[j] - pts[n][j])
 		}
-		fr := eval(xr)
+		fr := f(xr, fs[n])
+		evals++
+		if math.IsNaN(fr) {
+			fr = inf
+		}
 		switch {
 		case fr < fs[0]:
 			// Expansion.
 			for j := 0; j < n; j++ {
 				xe[j] = centroid[j] + 2*(centroid[j]-pts[n][j])
 			}
-			fe := eval(xe)
+			fe := f(xe, fr)
+			evals++
+			if math.IsNaN(fe) {
+				fe = inf
+			}
 			if fe < fr {
 				copy(pts[n], xe)
 				fs[n] = fe
@@ -159,7 +237,11 @@ func NelderMead(f Objective, x0 []float64, opts NelderMeadOptions) Result {
 					xc[j] = centroid[j] + 0.5*(pts[n][j]-centroid[j])
 				}
 			}
-			fc := eval(xc)
+			fc := f(xc, math.Min(fr, fs[n]))
+			evals++
+			if math.IsNaN(fc) {
+				fc = inf
+			}
 			if fc < math.Min(fr, fs[n]) {
 				copy(pts[n], xc)
 				fs[n] = fc
@@ -169,15 +251,19 @@ func NelderMead(f Objective, x0 []float64, opts NelderMeadOptions) Result {
 					for j := 0; j < n; j++ {
 						pts[i][j] = pts[0][j] + 0.5*(pts[i][j]-pts[0][j])
 					}
-					fs[i] = eval(pts[i])
+					v := f(pts[i], inf)
+					evals++
+					if math.IsNaN(v) {
+						v = inf
+					}
+					fs[i] = v
 				}
 			}
 		}
 	}
-	order()
-	best := make([]float64, n)
-	copy(best, pts[0])
-	return Result{X: best, F: fs[0], Evals: evals, Iters: iters}
+	nmOrder(pts, fs)
+	copy(ws.best, pts[0])
+	return Result{X: ws.best, F: fs[0], Evals: evals, Iters: iters}
 }
 
 // GoldenSection minimizes a one-dimensional objective on [a, b] using

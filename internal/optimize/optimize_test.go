@@ -87,6 +87,80 @@ func TestNelderMeadNeverWorseThanStart(t *testing.T) {
 	}
 }
 
+// sphereBounded aborts the coordinate loop once the partial sum exceeds
+// bound, exercising the early-abort contract.
+func sphereBounded(x []float64, bound float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+		if s > bound {
+			return s
+		}
+	}
+	return s
+}
+
+func TestNelderMeadBoundedMatchesUnbounded(t *testing.T) {
+	// An objective that honors the bound must walk the exact same simplex
+	// trajectory as the plain objective: same minimizer, value, eval and
+	// iteration counts.
+	starts := [][]float64{{3, -2, 1}, {0.1, 0.1}, {-5, 4, 0.5, 2}}
+	for _, x0 := range starts {
+		plain := NelderMead(sphere, x0, NelderMeadOptions{})
+		bounded := NelderMeadBounded(sphereBounded, x0, NelderMeadOptions{})
+		if plain.F != bounded.F || plain.Evals != bounded.Evals || plain.Iters != bounded.Iters {
+			t.Fatalf("bounded run diverged from unbounded: %+v vs %+v (x0=%v)", bounded, plain, x0)
+		}
+		for i := range plain.X {
+			if plain.X[i] != bounded.X[i] {
+				t.Fatalf("bounded minimizer %v != unbounded %v (x0=%v)", bounded.X, plain.X, x0)
+			}
+		}
+	}
+}
+
+func TestNelderMeadWorkspaceReuse(t *testing.T) {
+	var ws NMWorkspace
+	opts := NelderMeadOptions{Workspace: &ws}
+	a := NelderMeadBounded(sphereBounded, []float64{3, -2, 1}, opts)
+	if a.F > 1e-8 {
+		t.Fatalf("workspace run 1 f = %v", a.F)
+	}
+	got := append([]float64(nil), a.X...) // Result.X aliases the workspace
+	// Second run with the same workspace must match a fresh run exactly.
+	b := NelderMeadBounded(sphereBounded, []float64{3, -2, 1}, opts)
+	fresh := NelderMeadBounded(sphereBounded, []float64{3, -2, 1}, NelderMeadOptions{})
+	if b.F != fresh.F || b.Evals != fresh.Evals || b.Iters != fresh.Iters {
+		t.Fatalf("workspace reuse changed the search: %+v vs %+v", b, fresh)
+	}
+	for i := range got {
+		if got[i] != b.X[i] {
+			t.Fatalf("workspace runs disagree: %v vs %v", got, b.X)
+		}
+	}
+	// Dimension change reallocates transparently.
+	c := NelderMeadBounded(sphereBounded, []float64{2, 2}, opts)
+	if c.F > 1e-8 || len(c.X) != 2 {
+		t.Fatalf("workspace dim change: %+v", c)
+	}
+}
+
+func TestNelderMeadBoundedAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	var ws NMWorkspace
+	opts := NelderMeadOptions{Workspace: &ws, MaxIter: 60}
+	x0 := [3]float64{3, -2, 1}
+	NelderMeadBounded(sphereBounded, x0[:], opts) // warm the workspace
+	allocs := testing.AllocsPerRun(50, func() {
+		NelderMeadBounded(sphereBounded, x0[:], opts)
+	})
+	if allocs != 0 {
+		t.Fatalf("NelderMeadBounded with workspace allocates %v per run, want 0", allocs)
+	}
+}
+
 func TestGoldenSection(t *testing.T) {
 	x, fx := GoldenSection(func(v float64) float64 { return (v - 0.3) * (v - 0.3) }, 0, 1, 1e-9)
 	if math.Abs(x-0.3) > 1e-6 || fx > 1e-10 {
