@@ -1,6 +1,8 @@
-// Command f2dbcli is an interactive shell for the embedded F²DB engine:
-// it builds a data set, selects (or loads) a model configuration and
-// answers forecast queries typed at the prompt.
+// Command f2dbcli is an interactive shell for the F²DB engine: it builds
+// a data set, selects (or loads) a model configuration and answers
+// forecast queries typed at the prompt — either against an in-process
+// engine or, with -remote, against a running f2dbd daemon over the wire
+// protocol.
 //
 // Usage:
 //
@@ -8,6 +10,10 @@
 //	f2dbcli -dataset gen1k -config config.f2db
 //	f2dbcli -csv facts.csv -dims "product;location=city<region" -period 12
 //	f2dbcli -dataset tourism -metrics :9090    # Prometheus text on /metrics
+//	f2dbcli -remote localhost:7071             # REPL against a live f2dbd
+//	f2dbcli -remote localhost:7071 -exec '\ping'
+//	f2dbcli -dataset tourism -workload 10 -workload-queries 4
+//	f2dbcli -dataset tourism -remote localhost:7071 -workload 10
 //
 // Queries:
 //
@@ -33,6 +39,8 @@ import (
 	"cubefc/internal/cube"
 	"cubefc/internal/experiments"
 	"cubefc/internal/f2db"
+	"cubefc/internal/fclient"
+	"cubefc/internal/workload"
 )
 
 func main() {
@@ -47,6 +55,14 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "worker pool size for off-lock model re-estimation (0 = GOMAXPROCS)")
 	eager := flag.Bool("eager-reestimate", false, "re-fit invalidated models right after the batch advance instead of lazily on first query")
 	coldRefit := flag.Bool("cold-refit", false, "disable warm-started re-estimation (full cold parameter search on every re-fit)")
+	remote := flag.String("remote", "", "connect to a running f2dbd at this address instead of opening a local engine")
+	execStmt := flag.String("exec", "", "execute one statement (SQL, \\ping or \\stats) and exit")
+	wlPoints := flag.Int("workload", 0, "run the interleaved insert/query workload for this many time points instead of the REPL")
+	wlQueries := flag.Int("workload-queries", 4, "workload: forecast queries per insert")
+	wlHorizon := flag.Int("workload-horizon", 1, "workload: forecast horizon in steps")
+	wlWriters := flag.Int("workload-writers", 1, "workload: concurrent insert streams (with -remote: writer connections)")
+	wlReaders := flag.Int("workload-readers", 1, "workload: reader connections (-remote only)")
+	wlSeed := flag.Int64("workload-seed", 1, "workload: generator seed")
 	flag.Parse()
 	engineOpts := func() f2db.Options {
 		return f2db.Options{
@@ -58,12 +74,55 @@ func main() {
 		}
 	}
 
+	// Remote one-shot / REPL: no local engine at all.
+	if *remote != "" && *wlPoints == 0 {
+		cl, err := fclient.Dial(*remote, fclient.Options{})
+		if err != nil {
+			fail(err)
+		}
+		defer cl.Close()
+		if *execStmt != "" {
+			if err := remoteStmt(cl, *execStmt); err != nil {
+				fail(err)
+			}
+			return
+		}
+		remoteRepl(cl, *remote)
+		return
+	}
+
+	// Remote workload: the local side only needs the graph, to render the
+	// same SQL the daemon's data set understands.
+	if *remote != "" {
+		g, _, err := buildGraph(*dataset, *csvPath, *dimSpec, *period)
+		if err != nil {
+			fail(err)
+		}
+		gen := workload.New(g, *wlSeed)
+		res, err := workload.Run(nil, gen, workload.Options{
+			TimePoints:       *wlPoints,
+			QueriesPerInsert: *wlQueries,
+			Horizon:          *wlHorizon,
+			InsertWriters:    *wlWriters,
+			RemoteAddr:       *remote,
+			RemoteReaders:    *wlReaders,
+		})
+		if err != nil {
+			fail(err)
+		}
+		printWorkload(res)
+		return
+	}
+
+	var db *f2db.DB
+	var g *cube.Graph
+	name := *dataset
 	if *dbPath != "" {
 		fh, err := os.Open(*dbPath)
 		if err != nil {
 			fail(err)
 		}
-		db, err := f2db.LoadDatabase(fh, engineOpts())
+		d, err := f2db.LoadDatabase(fh, engineOpts())
 		cerr := fh.Close()
 		if err != nil {
 			fail(err)
@@ -71,89 +130,120 @@ func main() {
 		if cerr != nil {
 			fail(cerr)
 		}
-		fmt.Printf("opened %s: %d nodes, %d models\n", *dbPath, db.Graph().NumNodes(), db.Configuration().NumModels())
-		serveMetrics(db, *metricsAddr)
-		repl(db, *dbPath)
-		return
-	}
-
-	var g *cube.Graph
-	name := *dataset
-	if *csvPath != "" {
-		specs, err := csvload.ParseSpec(*dimSpec)
-		if err != nil {
-			fail(err)
-		}
-		fh, err := os.Open(*csvPath)
-		if err != nil {
-			fail(err)
-		}
-		dims, base, err := csvload.Load(fh, specs, csvload.Options{Period: *period})
-		cerr := fh.Close()
-		if err != nil {
-			fail(err)
-		}
-		if cerr != nil {
-			fail(cerr)
-		}
-		g, err = cube.NewGraph(dims, base)
-		if err != nil {
-			fail(err)
-		}
-		name = *csvPath
+		fmt.Printf("opened %s: %d nodes, %d models\n", *dbPath, d.Graph().NumNodes(), d.Configuration().NumModels())
+		db, name = d, *dbPath
 	} else {
-		ds, err := experiments.LoadDataset(*dataset, experiments.Quick)
+		gg, gname, err := buildGraph(*dataset, *csvPath, *dimSpec, *period)
 		if err != nil {
 			fail(err)
 		}
-		gg, err := ds.Graph()
+		g, name = gg, gname
+		var cfg *core.Configuration
+		if *configPath != "" {
+			fh, err := os.Open(*configPath)
+			if err != nil {
+				fail(err)
+			}
+			cfg, err = f2db.LoadConfiguration(fh, g)
+			cerr := fh.Close()
+			if err != nil {
+				fail(err)
+			}
+			if cerr != nil {
+				fail(cerr)
+			}
+			fmt.Printf("loaded configuration: %d models\n", cfg.NumModels())
+		} else {
+			fmt.Print("running advisor ... ")
+			c, err := core.Run(g, core.Options{Seed: 42})
+			if err != nil {
+				fail(err)
+			}
+			cfg = c
+			fmt.Printf("done: error=%.4f models=%d\n", cfg.Error(), cfg.NumModels())
+		}
+		d, err := f2db.Open(g, cfg, engineOpts())
 		if err != nil {
 			fail(err)
 		}
-		g = gg
-		name = ds.Name
-	}
-	var cfg *core.Configuration
-	if *configPath != "" {
-		fh, err := os.Open(*configPath)
-		if err != nil {
-			fail(err)
-		}
-		cfg, err = f2db.LoadConfiguration(fh, g)
-		cerr := fh.Close()
-		if err != nil {
-			fail(err)
-		}
-		if cerr != nil {
-			fail(cerr)
-		}
-		fmt.Printf("loaded configuration: %d models\n", cfg.NumModels())
-	} else {
-		fmt.Print("running advisor ... ")
-		c, err := core.Run(g, core.Options{Seed: 42})
-		if err != nil {
-			fail(err)
-		}
-		cfg = c
-		fmt.Printf("done: error=%.4f models=%d\n", cfg.Error(), cfg.NumModels())
-	}
-	db, err := f2db.Open(g, cfg, engineOpts())
-	if err != nil {
-		fail(err)
+		db = d
 	}
 	serveMetrics(db, *metricsAddr)
+	if *wlPoints > 0 {
+		if g == nil {
+			fail(fmt.Errorf("-workload needs a data set graph; it does not run against a -db snapshot"))
+		}
+		gen := workload.New(g, *wlSeed)
+		res, err := workload.Run(db, gen, workload.Options{
+			TimePoints:       *wlPoints,
+			QueriesPerInsert: *wlQueries,
+			Horizon:          *wlHorizon,
+			InsertWriters:    *wlWriters,
+			UseSQL:           true,
+		})
+		if err != nil {
+			fail(err)
+		}
+		printWorkload(res)
+		return
+	}
+	if *execStmt != "" {
+		if err := localStmt(db, *execStmt); err != nil {
+			fail(err)
+		}
+		return
+	}
 	repl(db, name)
 }
 
+// buildGraph constructs the data cube from a CSV fact table or a built-in
+// data set.
+func buildGraph(dataset, csvPath, dimSpec string, period int) (*cube.Graph, string, error) {
+	if csvPath != "" {
+		specs, err := csvload.ParseSpec(dimSpec)
+		if err != nil {
+			return nil, "", err
+		}
+		fh, err := os.Open(csvPath)
+		if err != nil {
+			return nil, "", err
+		}
+		dims, base, err := csvload.Load(fh, specs, csvload.Options{Period: period})
+		cerr := fh.Close()
+		if err != nil {
+			return nil, "", err
+		}
+		if cerr != nil {
+			return nil, "", cerr
+		}
+		g, err := cube.NewGraph(dims, base)
+		if err != nil {
+			return nil, "", err
+		}
+		return g, csvPath, nil
+	}
+	ds, err := experiments.LoadDataset(dataset, experiments.Quick)
+	if err != nil {
+		return nil, "", err
+	}
+	g, err := ds.Graph()
+	if err != nil {
+		return nil, "", err
+	}
+	return g, ds.Name, nil
+}
+
 // serveMetrics exposes the engine counters on addr/metrics in Prometheus
-// text format (no-op when addr is empty). The endpoint is lock-free; it
-// never interferes with the interactive session.
+// text format (no-op when addr is empty). Mounting goes through
+// f2db.MountMetrics — the same helper f2dbd uses — so the endpoint cannot
+// drift between the two binaries. The endpoint is lock-free; it never
+// interferes with the interactive session.
 func serveMetrics(db *f2db.DB, addr string) {
 	if addr == "" {
 		return
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", db.MetricsHandler())
+	f2db.MountMetrics(mux, db)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fail(err)
@@ -164,6 +254,101 @@ func serveMetrics(db *f2db.DB, addr string) {
 			fmt.Fprintln(os.Stderr, "f2dbcli: metrics server:", err)
 		}
 	}()
+}
+
+// printWorkload reports a workload run.
+func printWorkload(res workload.RunResult) {
+	fmt.Printf("workload: %d inserts, %d queries in %v (avg query %v)\n",
+		res.Inserts, res.Queries, res.TotalTime.Round(0), res.AvgQueryTime)
+	if res.QueryTime > 0 || res.MaintainTime > 0 {
+		fmt.Printf("engine: query=%v maintain=%v reestimations=%d (%v engine time/query)\n",
+			res.QueryTime, res.MaintainTime, res.Reestimations, res.EngineTimePerQuery())
+	}
+}
+
+// localStmt executes one statement against the in-process engine.
+func localStmt(db *f2db.DB, stmt string) error {
+	switch {
+	case stmt == `\ping`:
+		fmt.Println("pong")
+		return nil
+	case stmt == `\stats`:
+		fmt.Printf("pending=%d invalid=%d\n", db.Stats().PendingInserts, db.InvalidCount())
+		fmt.Print(db.Metrics())
+		return nil
+	case strings.HasPrefix(strings.ToLower(stmt), "insert"):
+		if err := db.Exec(stmt); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+		return nil
+	default:
+		res, err := db.Query(stmt)
+		if err != nil {
+			return err
+		}
+		printResult(res)
+		return nil
+	}
+}
+
+// remoteStmt executes one statement against a live f2dbd.
+func remoteStmt(cl *fclient.Client, stmt string) error {
+	switch {
+	case stmt == `\ping`:
+		if err := cl.Ping(); err != nil {
+			return err
+		}
+		fmt.Println("pong")
+		return nil
+	case stmt == `\stats`:
+		text, err := cl.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+	case strings.HasPrefix(strings.ToLower(stmt), "insert"):
+		if err := cl.Exec(stmt); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+		return nil
+	default:
+		res, err := cl.Query(stmt)
+		if err != nil {
+			return err
+		}
+		printResult(res)
+		return nil
+	}
+}
+
+// remoteRepl runs the interactive loop against a live f2dbd.
+func remoteRepl(cl *fclient.Client, addr string) {
+	fmt.Printf("F²DB shell over f2dbd at %s. Type \\help for help.\n", addr)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("f2db> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\help`:
+			printHelp()
+		default:
+			if err := remoteStmt(cl, line); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+	}
 }
 
 // repl runs the interactive query loop.
@@ -239,29 +424,35 @@ func repl(db *f2db.DB, name string) {
 				fmt.Println("error:", err)
 				continue
 			}
-			if res.Plan != "" {
-				fmt.Printf("node %s: %s\n", res.NodeKey, res.Plan)
+			printResult(res)
+		}
+	}
+}
+
+// printResult renders one query result, shared by the local and remote
+// paths.
+func printResult(res *f2db.Result) {
+	if res.Plan != "" {
+		fmt.Printf("node %s: %s\n", res.NodeKey, res.Plan)
+	}
+	for _, grp := range res.Groups {
+		rows := grp.Rows
+		if len(res.Groups) > 1 {
+			fmt.Printf("%s:\n", grp.NodeKey)
+		}
+		if len(rows) > 12 {
+			fmt.Printf("  (%d rows, last 12)\n", len(rows))
+			rows = rows[len(rows)-12:]
+		}
+		for _, r := range rows {
+			marker := ""
+			if res.Forecast {
+				marker = " (forecast)"
 			}
-			for _, grp := range res.Groups {
-				rows := grp.Rows
-				if len(res.Groups) > 1 {
-					fmt.Printf("%s:\n", grp.NodeKey)
-				}
-				if len(rows) > 12 {
-					fmt.Printf("  (%d rows, last 12)\n", len(rows))
-					rows = rows[len(rows)-12:]
-				}
-				for _, r := range rows {
-					marker := ""
-					if res.Forecast {
-						marker = " (forecast)"
-					}
-					if r.Lo != 0 || r.Hi != 0 {
-						fmt.Printf("  t=%-6d %12.4f  [%.4f, %.4f]%s\n", r.T, r.Value, r.Lo, r.Hi, marker)
-					} else {
-						fmt.Printf("  t=%-6d %12.4f%s\n", r.T, r.Value, marker)
-					}
-				}
+			if r.Lo != 0 || r.Hi != 0 {
+				fmt.Printf("  t=%-6d %12.4f  [%.4f, %.4f]%s\n", r.T, r.Value, r.Lo, r.Hi, marker)
+			} else {
+				fmt.Printf("  t=%-6d %12.4f%s\n", r.T, r.Value, marker)
 			}
 		}
 	}
@@ -281,6 +472,8 @@ meta:
   \stats   engine counters      \models      list models
   \health  model maintenance    \save F      snapshot database
   \help    this help            \quit        exit
+  (remote shells support \stats and \ping; \save runs on the daemon side
+  via f2dbd -save)
 `)
 }
 

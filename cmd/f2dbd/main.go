@@ -1,0 +1,195 @@
+// Command f2dbd is the F²DB network daemon: it loads a data set (or a
+// saved database snapshot), runs or loads a model configuration, and
+// serves forecast queries over the length-prefixed wire protocol
+// (internal/wire) to fclient connections. A sidecar HTTP listener exposes
+// engine and server metrics in Prometheus text format.
+//
+// Usage:
+//
+//	f2dbd -dataset tourism -addr :7071
+//	f2dbd -db snapshot.f2db -addr :7071 -metrics :9090 -save snapshot.f2db
+//
+// On SIGTERM or SIGINT the daemon stops accepting connections, answers
+// every in-flight request, optionally saves a snapshot (-save), and exits
+// 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cubefc/internal/core"
+	"cubefc/internal/experiments"
+	"cubefc/internal/f2db"
+	"cubefc/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7071", "wire-protocol listen address")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus-format metrics on this address (e.g. :9090)")
+	dataset := flag.String("dataset", "tourism", "data set: tourism, sales, energy, gen1k, gen10k")
+	configPath := flag.String("config", "", "load a saved configuration instead of running the advisor")
+	dbPath := flag.String("db", "", "open a saved database snapshot instead of a data set")
+	savePath := flag.String("save", "", "save a database snapshot to this path after draining")
+	stripes := flag.Int("stripes", 0, "write stripes sharding the insert path (0 = near GOMAXPROCS, rounded to a power of two; negative = single stripe)")
+	parallelism := flag.Int("parallelism", 0, "worker pool size for off-lock model re-estimation (0 = GOMAXPROCS)")
+	eager := flag.Bool("eager-reestimate", false, "re-fit invalidated models right after the batch advance instead of lazily on first query")
+	coldRefit := flag.Bool("cold-refit", false, "disable warm-started re-estimation (full cold parameter search on every re-fit)")
+	maxConns := flag.Int("max-conns", 0, "maximum concurrent client connections (0 = default 256)")
+	reqTimeout := flag.Duration("request-timeout", 0, "per-request processing timeout (0 = default 30s)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "idle connection timeout (0 = default 5m)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain deadline before in-flight connections are force-closed")
+	flag.Parse()
+
+	db, name, err := openEngine(*dbPath, *dataset, *configPath, f2db.Options{
+		Strategy:        f2db.TimeBased{Every: 8},
+		Stripes:         *stripes,
+		Parallelism:     *parallelism,
+		EagerReestimate: *eager,
+		ColdRefit:       *coldRefit,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	srv := server.New(db, server.Options{
+		MaxConns:       *maxConns,
+		RequestTimeout: *reqTimeout,
+		IdleTimeout:    *idleTimeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "f2dbd: "+format+"\n", args...)
+		},
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("f2dbd: serving %s (%d nodes, %d models) on %s\n",
+		name, db.Graph().NumNodes(), db.Configuration().NumModels(), ln.Addr())
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		f2db.MountMetrics(mux, db, srv.Metrics().Collector())
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("f2dbd: metrics on http://%s/metrics\n", mln.Addr())
+		go func() {
+			if err := http.Serve(mln, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "f2dbd: metrics server:", err)
+			}
+		}()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-errc:
+		fail(err)
+	case sig := <-sigc:
+		fmt.Printf("f2dbd: %v: draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		drainErr := srv.Shutdown(ctx)
+		cancel()
+		if *savePath != "" {
+			if err := saveSnapshot(*savePath, db); err != nil {
+				fail(err)
+			}
+			fmt.Printf("f2dbd: database saved to %s\n", *savePath)
+		}
+		if drainErr != nil {
+			fail(fmt.Errorf("drain deadline exceeded: %w", drainErr))
+		}
+		fmt.Println("f2dbd: drained cleanly")
+	}
+}
+
+// openEngine builds the engine the daemon serves: a snapshot restore when
+// dbPath is set, otherwise a data set plus a loaded-or-advised
+// configuration.
+func openEngine(dbPath, dataset, configPath string, opts f2db.Options) (*f2db.DB, string, error) {
+	if dbPath != "" {
+		fh, err := os.Open(dbPath)
+		if err != nil {
+			return nil, "", err
+		}
+		defer fh.Close()
+		db, err := f2db.LoadDatabase(fh, opts)
+		if err != nil {
+			return nil, "", err
+		}
+		return db, dbPath, nil
+	}
+	ds, err := experiments.LoadDataset(dataset, experiments.Quick)
+	if err != nil {
+		return nil, "", err
+	}
+	g, err := ds.Graph()
+	if err != nil {
+		return nil, "", err
+	}
+	var cfg *core.Configuration
+	if configPath != "" {
+		fh, err := os.Open(configPath)
+		if err != nil {
+			return nil, "", err
+		}
+		cfg, err = f2db.LoadConfiguration(fh, g)
+		cerr := fh.Close()
+		if err != nil {
+			return nil, "", err
+		}
+		if cerr != nil {
+			return nil, "", cerr
+		}
+	} else {
+		fmt.Print("f2dbd: running advisor ... ")
+		cfg, err = core.Run(g, core.Options{Seed: 42})
+		if err != nil {
+			return nil, "", err
+		}
+		fmt.Printf("done: error=%.4f models=%d\n", cfg.Error(), cfg.NumModels())
+	}
+	db, err := f2db.Open(g, cfg, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	return db, ds.Name, nil
+}
+
+// saveSnapshot writes the engine image, replacing any existing file only
+// after a complete write (tmp + rename).
+func saveSnapshot(path string, db *f2db.DB) error {
+	tmp := path + ".tmp"
+	fh, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := f2db.SaveDatabase(fh, db); err != nil {
+		fh.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := fh.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "f2dbd:", err)
+	os.Exit(1)
+}

@@ -2,6 +2,7 @@ package f2db
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 )
@@ -12,19 +13,33 @@ import (
 // both ingest. The handler is lock-free like Metrics itself, so scraping at
 // any rate never blocks queries or maintenance.
 
+// Collector appends additional Prometheus text-format metric families to
+// the engine's /metrics output. Serving layers (the wire server's
+// per-connection and per-request counters) register one through
+// MountMetrics so their families land on the same endpoint as the engine's.
+type Collector func(w io.Writer)
+
 // MetricsHandler returns an http.Handler serving the engine metrics in
-// Prometheus text format. Mount it wherever the serving binary exposes
-// observability endpoints (f2dbcli: the -metrics flag):
-//
-//	mux.Handle("/metrics", db.MetricsHandler())
-func (db *DB) MetricsHandler() http.Handler {
+// Prometheus text format, followed by any extra collectors' families.
+func (db *DB) MetricsHandler(extra ...Collector) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writePrometheus(w, db)
+		for _, c := range extra {
+			c(w)
+		}
 	})
 }
 
-func writePrometheus(w http.ResponseWriter, db *DB) {
+// MountMetrics mounts the Prometheus endpoint on mux under /metrics. It is
+// the single handler-mounting helper every serving binary uses — f2dbcli's
+// -metrics flag and the f2dbd daemon both — so the observability surface
+// cannot drift between them.
+func MountMetrics(mux *http.ServeMux, db *DB, extra ...Collector) {
+	mux.Handle("/metrics", db.MetricsHandler(extra...))
+}
+
+func writePrometheus(w io.Writer, db *DB) {
 	m := db.Metrics()
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -94,18 +109,22 @@ func writePrometheus(w http.ResponseWriter, db *DB) {
 		}
 	}
 
-	// Query latency as a cumulative Prometheus histogram. The engine's
-	// buckets are log2 upper bounds in nanoseconds; le labels are seconds.
-	lat := m.QueryLatency
-	fmt.Fprintf(w, "# HELP f2db_query_latency_seconds Per-forecast latency.\n")
-	fmt.Fprintf(w, "# TYPE f2db_query_latency_seconds histogram\n")
+	// Query latency as a cumulative Prometheus histogram.
+	WritePromHistogram(w, "f2db_query_latency_seconds", "Per-forecast latency.", m.QueryLatency)
+}
+
+// WritePromHistogram renders a LatencySnapshot as a cumulative Prometheus
+// histogram family. The engine's buckets are log2 upper bounds in
+// nanoseconds; le labels are seconds. Serving-layer Collectors use it so
+// their histograms export in exactly the engine's format.
+func WritePromHistogram(w io.Writer, name, help string, s LatencySnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
 	var cum int64
-	for _, b := range lat.Buckets {
+	for _, b := range s.Buckets {
 		cum += b.Count
-		fmt.Fprintf(w, "f2db_query_latency_seconds_bucket{le=%q} %d\n",
-			fmt.Sprintf("%g", b.Le.Seconds()), cum)
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", b.Le.Seconds()), cum)
 	}
-	fmt.Fprintf(w, "f2db_query_latency_seconds_bucket{le=\"+Inf\"} %d\n", lat.Count)
-	fmt.Fprintf(w, "f2db_query_latency_seconds_sum %g\n", m.QueryTime.Seconds())
-	fmt.Fprintf(w, "f2db_query_latency_seconds_count %d\n", lat.Count)
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, s.Sum.Seconds())
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
 }

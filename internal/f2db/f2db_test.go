@@ -761,6 +761,83 @@ func TestSnapshotPlanWarmup(t *testing.T) {
 	}
 }
 
+// TestSnapshotForecastWarmup: SaveDatabase persists the forecast memo
+// table's live keys and LoadDatabase re-derives them, so the restored
+// engine's derivation layer serves its recurring forecasts from the memo
+// table on first reference (the memo analogue of plan-text warmup — closes
+// the ROADMAP item).
+func TestSnapshotForecastWarmup(t *testing.T) {
+	db, g, _ := testEngine(t, nil)
+	// Populate the memo table: node forecasts at two horizons plus an
+	// interval query.
+	top := g.TopID
+	if _, err := db.ForecastNode(top, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ForecastNode(g.BaseIDs[0], 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("SELECT time, SUM(m) FROM facts WHERE city = 'C1' AS OF now() + '2 steps' WITH INTERVAL 95"); err != nil {
+		t.Fatal(err)
+	}
+	liveBefore := db.Metrics().ForecastCacheSize
+	if liveBefore == 0 {
+		t.Fatal("no memo entries to persist")
+	}
+
+	var buf bytes.Buffer
+	if err := SaveDatabase(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	db2, err := LoadDatabase(bytes.NewReader(data), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Metrics().ForecastCacheSize; got != liveBefore {
+		t.Fatalf("restored memo table holds %d entries, want %d", got, liveBefore)
+	}
+	// The very first post-restore repeat of each warmed forecast is a hit.
+	before := db2.Metrics()
+	if _, err := db2.ForecastNode(top, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.Query("SELECT time, SUM(m) FROM facts WHERE city = 'C1' AS OF now() + '2 steps' WITH INTERVAL 95"); err != nil {
+		t.Fatal(err)
+	}
+	after := db2.Metrics()
+	if hits := after.ForecastCacheHits - before.ForecastCacheHits; hits != 2 {
+		t.Fatalf("forecast cache hits %d -> %d, want 2 hits on first post-restore queries",
+			before.ForecastCacheHits, after.ForecastCacheHits)
+	}
+	if after.ForecastCacheMisses != before.ForecastCacheMisses {
+		t.Fatalf("forecast cache misses grew %d -> %d on warmed queries",
+			before.ForecastCacheMisses, after.ForecastCacheMisses)
+	}
+	// Warmed forecasts equal the saved engine's (same state, same models).
+	want, err := db.ForecastNode(top, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db2.ForecastNode(top, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored forecast %v, want %v", got, want)
+	}
+
+	// A restore with memoization disabled ignores the persisted keys.
+	db3, err := LoadDatabase(bytes.NewReader(data), Options{ForecastCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db3.ForecastNode(top, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestLoadDatabaseGarbage(t *testing.T) {
 	if _, err := LoadDatabase(strings.NewReader("junk"), Options{}); err == nil {
 		t.Fatal("garbage image should fail")

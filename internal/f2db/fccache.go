@@ -1,6 +1,7 @@
 package f2db
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -162,6 +163,39 @@ func (c *fcCache) put(key fcKey, point, lo, hi []float64) (evicted int64) {
 	}
 	sh.items[key] = e
 	return evicted
+}
+
+// hotKeys returns up to max keys of live entries — entries whose stamped
+// epoch matches their node's current epoch, i.e. forecasts the memo table
+// could serve right now. Keys are sorted (node, h, conf) so snapshot
+// images are deterministic. Used by SaveDatabase to persist the derivation
+// layer's working set (the memo analogue of plan-text warmup).
+func (c *fcCache) hotKeys(max int) []fcKey {
+	var keys []fcKey
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for k, e := range sh.items {
+			if e.epoch == c.epochs[k.node].Load() {
+				keys = append(keys, k)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		if a.h != b.h {
+			return a.h < b.h
+		}
+		return a.conf < b.conf
+	})
+	if len(keys) > max {
+		keys = keys[:max]
+	}
+	return keys
 }
 
 // size returns the number of memoized entries (live and stale) across all

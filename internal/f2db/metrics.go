@@ -44,9 +44,9 @@ func (h *histogram) observe(d time.Duration) {
 }
 
 func (h *histogram) snapshot() LatencySnapshot {
-	s := LatencySnapshot{Count: h.count.Load()}
+	s := LatencySnapshot{Count: h.count.Load(), Sum: time.Duration(h.sumNanos.Load())}
 	if s.Count > 0 {
-		s.Mean = time.Duration(h.sumNanos.Load() / s.Count)
+		s.Mean = s.Sum / time.Duration(s.Count)
 	}
 	for i := range h.buckets {
 		c := h.buckets[i].Load()
@@ -69,9 +69,23 @@ type LatencyBucket struct {
 // LatencySnapshot is a point-in-time copy of the query-latency histogram.
 type LatencySnapshot struct {
 	Count   int64
+	Sum     time.Duration
 	Mean    time.Duration
 	Buckets []LatencyBucket // ascending by Le, empty buckets omitted
 }
+
+// Histogram is the exported face of the engine's lock-free log₂-bucketed
+// latency histogram, for serving layers that want their per-request
+// latencies measured and exported exactly like the engine's (the wire
+// server's per-request histogram in internal/server). The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Histogram struct{ h histogram }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.h.observe(d) }
+
+// Snapshot returns a point-in-time copy of the histogram.
+func (h *Histogram) Snapshot() LatencySnapshot { return h.h.snapshot() }
 
 // Quantile returns a conservative (upper-bound) estimate of the q-quantile,
 // q in [0, 1], from the bucket boundaries. Zero when nothing was observed.

@@ -29,6 +29,24 @@ type dbImage struct {
 	// gob tolerates the field being absent, so snapshots from before plan
 	// persistence still load (with a cold cache).
 	PlanTexts []string
+	// FcKeys are the forecast memo table's live entries at save time —
+	// the derivation layer's working set. Only the keys are persisted
+	// (node coordinate key, horizon, confidence), not the forecast values:
+	// a restored engine recomputes them once at load, so a restarted
+	// daemon answers its recurring forecasts from the memo table
+	// immediately instead of re-deriving each on first reference. Like
+	// PlanTexts, the field is absent in older snapshots and ignored when
+	// memoization is disabled.
+	FcKeys []fcWarmKey
+}
+
+// fcWarmKey is one persisted memo-table key. The node is stored by its
+// canonical coordinate key, not its ID, so the record survives any future
+// change to node enumeration order.
+type fcWarmKey struct {
+	NodeKey string
+	H       int
+	Conf    float64
 }
 
 // planWarmupLimit caps how many plan texts a snapshot carries. Plans
@@ -37,6 +55,12 @@ type dbImage struct {
 // cost. 64 keeps the hot quarter of the default 256-entry cache — the
 // recurring dashboard-style statements warmup exists for.
 const planWarmupLimit = 64
+
+// fcWarmupLimit caps how many memo keys a snapshot carries. Unlike plan
+// warmup, each restored key costs a real forecast derivation at load time,
+// so the cap bounds restore latency: 256 single-node forecasts complete in
+// low milliseconds on the evaluation cubes.
+const fcWarmupLimit = 256
 
 // SaveDatabase serializes the whole engine state. It holds the shared read
 // lock for the duration: concurrent queries proceed, maintenance waits.
@@ -96,6 +120,15 @@ func SaveDatabase(w io.Writer, db *DB) error {
 			img.PlanTexts = img.PlanTexts[:planWarmupLimit]
 		}
 	}
+	if db.fc != nil {
+		for _, k := range db.fc.hotKeys(fcWarmupLimit) {
+			img.FcKeys = append(img.FcKeys, fcWarmKey{
+				NodeKey: db.graph.Nodes[k.node].Key(db.graph.Dims),
+				H:       k.h,
+				Conf:    k.conf,
+			})
+		}
+	}
 	var cfgBuf bytes.Buffer
 	if err := SaveConfiguration(&cfgBuf, db.cfg); err != nil {
 		return err
@@ -152,5 +185,27 @@ func LoadDatabase(r io.Reader, opts Options) (*DB, error) {
 			_, _ = db.planQuery(img.PlanTexts[i])
 		}
 	}
+	// Warm the forecast memo table: re-derive each persisted key once so
+	// the restored engine's derivation layer serves its working set from
+	// the memo table immediately. Unknown node keys and derivation errors
+	// are skipped, not fatal — a cold miss later is the worst outcome.
+	if db.fc != nil {
+		for _, k := range img.FcKeys {
+			n := g.LookupKey(k.NodeKey)
+			if n == nil || k.H < 1 {
+				continue
+			}
+			db.warmForecast(n.ID, k.H, k.Conf)
+		}
+	}
 	return db, nil
+}
+
+// warmForecast derives and memoizes one forecast under the shared read
+// lock, ignoring failures (snapshot warmup; a model awaiting
+// re-estimation simply stays cold).
+func (db *DB) warmForecast(node, h int, conf float64) {
+	g := db.rLock()
+	_, _, _, _ = db.forecastIntervalLocked(g, node, h, conf)
+	db.unlock(g)
 }

@@ -1,0 +1,373 @@
+// Package fclient is the Go client for an F²DB wire-protocol server
+// (internal/server, the f2dbd daemon). It maintains a fixed-size pool of
+// TCP connections, pipelines concurrent requests over them (responses on a
+// connection arrive strictly in request order, so a FIFO of waiting calls
+// per connection suffices — no request IDs), and transparently reconnects.
+// Idempotent requests (Query, Ping, Stats) are retried once per configured
+// retry on a fresh connection after a transport failure; Exec (INSERT) is
+// never retried, because a duplicate insert into the same batch is an
+// engine error and the first attempt may have applied.
+package fclient
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cubefc/internal/f2db"
+	"cubefc/internal/wire"
+)
+
+// Options tunes a client. The zero value selects the documented defaults.
+type Options struct {
+	// PoolSize is the number of pooled connections requests are spread
+	// over round-robin. Default 4.
+	PoolSize int
+	// DialTimeout bounds one connection attempt. Default 5s.
+	DialTimeout time.Duration
+	// RequestTimeout bounds one request round trip. A request that times
+	// out poisons its connection (a pipelined stream with one lost
+	// response cannot be resynchronized), failing other calls in flight
+	// on it; they surface transport errors and retry if idempotent.
+	// Default 30s.
+	RequestTimeout time.Duration
+	// Retries is how many times an idempotent request is re-sent on a
+	// fresh connection after a transport failure. Default 1. Server
+	// errors (wire.ServerError) are never retried — the server answered.
+	Retries int
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.PoolSize <= 0 {
+		out.PoolSize = 4
+	}
+	if out.DialTimeout <= 0 {
+		out.DialTimeout = 5 * time.Second
+	}
+	if out.RequestTimeout <= 0 {
+		out.RequestTimeout = 30 * time.Second
+	}
+	if out.Retries < 0 {
+		out.Retries = 0
+	}
+	return out
+}
+
+// ErrClosed is returned by requests on a closed client.
+var ErrClosed = errors.New("fclient: client closed")
+
+// errConnBroken marks transport-level failures eligible for reconnect.
+var errConnBroken = errors.New("fclient: connection broken")
+
+// maxPipeline bounds the calls in flight on one connection; further sends
+// block until responses drain.
+const maxPipeline = 512
+
+// Client is a pooled, pipelining F²DB client. It is safe for concurrent
+// use by any number of goroutines.
+type Client struct {
+	addr   string
+	opts   Options
+	slots  []slot
+	next   atomic.Uint64
+	closed atomic.Bool
+}
+
+// slot is one pool position: a lazily (re)dialed connection.
+type slot struct {
+	mu sync.Mutex
+	c  *conn
+}
+
+// Dial creates a client for the server at addr and verifies connectivity
+// with a Ping on one pooled connection.
+func Dial(addr string, opts Options) (*Client, error) {
+	c := &Client{addr: addr, opts: opts.withDefaults()}
+	c.slots = make([]slot, c.opts.PoolSize)
+	if err := c.Ping(); err != nil {
+		return nil, fmt.Errorf("fclient: dial %s: %w", addr, err)
+	}
+	return c, nil
+}
+
+// Close closes every pooled connection. In-flight requests fail with
+// transport errors.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	for i := range c.slots {
+		sl := &c.slots[i]
+		sl.mu.Lock()
+		if sl.c != nil {
+			sl.c.fail(ErrClosed)
+			sl.c = nil
+		}
+		sl.mu.Unlock()
+	}
+	return nil
+}
+
+// Query executes a SELECT (idempotent; retried on reconnect).
+func (c *Client) Query(sql string) (*f2db.Result, error) {
+	t, payload, err := c.do(wire.TQuery, []byte(sql), true)
+	if err != nil {
+		return nil, err
+	}
+	if t != wire.TResult {
+		return nil, fmt.Errorf("fclient: unexpected %v response to QUERY", t)
+	}
+	return wire.DecodeResult(payload)
+}
+
+// Exec executes an INSERT (not idempotent; never retried).
+func (c *Client) Exec(sql string) error {
+	t, _, err := c.do(wire.TExec, []byte(sql), false)
+	if err != nil {
+		return err
+	}
+	if t != wire.TOK {
+		return fmt.Errorf("fclient: unexpected %v response to EXEC", t)
+	}
+	return nil
+}
+
+// Ping round-trips a liveness probe (idempotent; retried on reconnect).
+func (c *Client) Ping() error {
+	t, _, err := c.do(wire.TPing, nil, true)
+	if err != nil {
+		return err
+	}
+	if t != wire.TPong {
+		return fmt.Errorf("fclient: unexpected %v response to PING", t)
+	}
+	return nil
+}
+
+// Stats fetches the server's engine-counter rendering (idempotent).
+func (c *Client) Stats() (string, error) {
+	t, payload, err := c.do(wire.TStats, nil, true)
+	if err != nil {
+		return "", err
+	}
+	if t != wire.TStatsText {
+		return "", fmt.Errorf("fclient: unexpected %v response to STATS", t)
+	}
+	return string(payload), nil
+}
+
+// do runs one request with pooling, pipelining and (for idempotent
+// requests) retry-on-reconnect.
+func (c *Client) do(t wire.Type, payload []byte, idempotent bool) (wire.Type, []byte, error) {
+	if c.closed.Load() {
+		return 0, nil, ErrClosed
+	}
+	attempts := 1
+	if idempotent {
+		attempts += c.opts.Retries
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if c.closed.Load() {
+			return 0, nil, ErrClosed
+		}
+		sl := &c.slots[c.next.Add(1)%uint64(len(c.slots))]
+		cn, err := sl.get(c)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		rt, rp, err := cn.roundtrip(t, payload, c.opts.RequestTimeout)
+		if err == nil {
+			if rt == wire.TError {
+				se, derr := wire.DecodeError(rp)
+				if derr != nil {
+					return 0, nil, derr
+				}
+				// The server processed the request: a retry would re-run
+				// it, so surface the error even for idempotent calls.
+				return 0, nil, se
+			}
+			return rt, rp, nil
+		}
+		// Transport failure: this connection is unusable; drop it so the
+		// next acquisition redials.
+		sl.discard(cn)
+		lastErr = err
+	}
+	return 0, nil, lastErr
+}
+
+// get returns the slot's live connection, dialing a fresh one if the slot
+// is empty or its connection died.
+func (sl *slot) get(c *Client) (*conn, error) {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.c != nil && !sl.c.dead.Load() {
+		return sl.c, nil
+	}
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", errConnBroken, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	cn := newConn(nc)
+	sl.c = cn
+	return cn, nil
+}
+
+// discard drops a connection from its slot (if still installed) so the
+// next get redials.
+func (sl *slot) discard(cn *conn) {
+	cn.fail(errConnBroken)
+	sl.mu.Lock()
+	if sl.c == cn {
+		sl.c = nil
+	}
+	sl.mu.Unlock()
+}
+
+// conn is one pooled connection with a pipelined call FIFO.
+type conn struct {
+	nc      net.Conn
+	bw      *bufio.Writer
+	wmu     sync.Mutex // serializes frame writes and FIFO enqueues
+	pending chan *call // FIFO of calls awaiting responses
+	dead    atomic.Bool
+	failOne sync.Once
+	errMu   sync.Mutex
+	err     error
+}
+
+// call is one in-flight request.
+type call struct {
+	done    chan struct{}
+	t       wire.Type
+	payload []byte
+	err     error
+}
+
+func newConn(nc net.Conn) *conn {
+	c := &conn{
+		nc:      nc,
+		bw:      bufio.NewWriter(nc),
+		pending: make(chan *call, maxPipeline),
+	}
+	go c.readLoop()
+	return c
+}
+
+// roundtrip sends one frame and waits for its in-order response.
+func (c *conn) roundtrip(t wire.Type, payload []byte, timeout time.Duration) (wire.Type, []byte, error) {
+	ca := &call{done: make(chan struct{})}
+	c.wmu.Lock()
+	if c.dead.Load() {
+		c.wmu.Unlock()
+		return 0, nil, c.lastErr()
+	}
+	select {
+	case c.pending <- ca:
+	default:
+		c.wmu.Unlock()
+		return 0, nil, fmt.Errorf("%w: pipeline full (%d in flight)", errConnBroken, maxPipeline)
+	}
+	err := wire.WriteFrame(c.bw, t, payload)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		// The write failed with the call already enqueued; kill the
+		// connection so the read loop fails the FIFO (including ours) and
+		// no later response can be matched to the wrong call.
+		c.fail(fmt.Errorf("%w: write: %w", errConnBroken, err))
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-ca.done:
+		return ca.t, ca.payload, ca.err
+	case <-timer.C:
+		// A pipelined connection that lost one response cannot be reused:
+		// every later response would shift onto the wrong call. Poison it
+		// and wait for the read loop to fail our call deterministically.
+		c.fail(fmt.Errorf("%w: request timed out after %v", errConnBroken, timeout))
+		<-ca.done
+		if ca.err != nil {
+			return 0, nil, ca.err
+		}
+		// The response arrived in the closing race; use it.
+		return ca.t, ca.payload, nil
+	}
+}
+
+// readLoop matches response frames to the call FIFO.
+func (c *conn) readLoop() {
+	for {
+		t, payload, err := wire.ReadFrame(c.nc)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: read: %w", errConnBroken, err))
+			return
+		}
+		if !t.IsResponse() {
+			c.fail(fmt.Errorf("%w: non-response frame %v", errConnBroken, t))
+			return
+		}
+		select {
+		case ca := <-c.pending:
+			ca.t, ca.payload = t, payload
+			close(ca.done)
+		default:
+			c.fail(fmt.Errorf("%w: unsolicited response %v", errConnBroken, t))
+			return
+		}
+	}
+}
+
+// fail marks the connection dead, closes it and fails every call still in
+// the FIFO. Safe to call from any goroutine, any number of times.
+func (c *conn) fail(err error) {
+	c.failOne.Do(func() {
+		c.errMu.Lock()
+		c.err = err
+		c.errMu.Unlock()
+		c.dead.Store(true)
+		_ = c.nc.Close()
+		// Block new enqueues, then drain the FIFO: wmu excludes a sender
+		// mid-enqueue, and dead is set, so after this loop no call can be
+		// stranded.
+		c.wmu.Lock()
+		for {
+			select {
+			case ca := <-c.pending:
+				ca.err = err
+				close(ca.done)
+			default:
+				c.wmu.Unlock()
+				return
+			}
+		}
+	})
+}
+
+func (c *conn) lastErr() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return errConnBroken
+}
+
+// IsRetryable reports whether err is a transport-level failure (as opposed
+// to a server-processed wire.ServerError) — useful for callers layering
+// their own retry policies over Exec.
+func IsRetryable(err error) bool {
+	var se *wire.ServerError
+	return err != nil && !errors.As(err, &se) && !errors.Is(err, ErrClosed)
+}

@@ -1,0 +1,350 @@
+// Package server exposes an embedded F²DB engine over a TCP listener
+// speaking the internal/wire framed protocol — the client/server boundary
+// the paper assumes (§V positions F²DB as a PostgreSQL extension answering
+// forecast queries from client applications; this is the self-contained
+// analogue of that server process).
+//
+// Connection model: one goroutine per accepted connection, reading frames
+// sequentially and answering them strictly in order (which is what lets
+// clients pipeline). The accept loop holds a counting semaphore, so at
+// most Options.MaxConns connections are ever live — excess dials queue in
+// the listen backlog instead of exhausting server memory. Slow or stalled
+// clients are bounded on both directions: reads carry an idle deadline,
+// writes a write deadline. Each request is additionally bounded by a
+// per-request timeout enforced by a watchdog — the engine call keeps
+// running (engine APIs are synchronous and cannot be aborted) but the
+// client gets a CodeTimeout error in-order instead of an unbounded stall.
+//
+// Shutdown is drain-then-close: Shutdown stops the accept loop, lets every
+// in-flight request (one whose frame was fully read) complete and be
+// answered, gives each connection a short grace window to submit frames it
+// had already pipelined, then closes. Connections idle past the grace
+// window are closed immediately; a context deadline force-closes whatever
+// is left.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cubefc/internal/f2db"
+	"cubefc/internal/wire"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown completes the drain.
+var ErrServerClosed = errors.New("server: closed")
+
+// Options tunes the server. The zero value selects the documented
+// defaults.
+type Options struct {
+	// MaxConns caps concurrently served connections (the accept gate).
+	// Default 256.
+	MaxConns int
+	// RequestTimeout bounds one request from fully-read frame to computed
+	// response. Default 30s.
+	RequestTimeout time.Duration
+	// IdleTimeout bounds the wait for the next request frame on an idle
+	// connection. Default 5m.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response to a slow client.
+	// Default 30s.
+	WriteTimeout time.Duration
+	// DrainGrace is the per-read deadline applied while draining, so
+	// frames a client had already pipelined are still served but an idle
+	// connection closes promptly. Default 250ms.
+	DrainGrace time.Duration
+	// Logf, when non-nil, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxConns <= 0 {
+		out.MaxConns = 256
+	}
+	if out.RequestTimeout <= 0 {
+		out.RequestTimeout = 30 * time.Second
+	}
+	if out.IdleTimeout <= 0 {
+		out.IdleTimeout = 5 * time.Minute
+	}
+	if out.WriteTimeout <= 0 {
+		out.WriteTimeout = 30 * time.Second
+	}
+	if out.DrainGrace <= 0 {
+		out.DrainGrace = 250 * time.Millisecond
+	}
+	return out
+}
+
+// Server serves one engine over one listener.
+type Server struct {
+	db   *f2db.DB
+	opts Options
+	met  Metrics
+
+	sem      chan struct{} // accept gate
+	draining atomic.Bool
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[*conn]struct{}
+	wg    sync.WaitGroup
+
+	// testHookBeforeHandle, when non-nil, runs after a request frame is
+	// fully read but before it is dispatched — the window in which the
+	// request is in-flight for drain purposes. Tests use it to hold a
+	// request in-flight across a Shutdown; always nil in production.
+	testHookBeforeHandle func(t wire.Type)
+	// testHookInProcess, when non-nil, runs inside the watchdog-supervised
+	// processing goroutine. Tests use it to stall a request past
+	// RequestTimeout; always nil in production.
+	testHookInProcess func(t wire.Type)
+}
+
+// New returns a server over the engine. Serve must be called to start it.
+func New(db *f2db.DB, opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		db:    db,
+		opts:  opts,
+		sem:   make(chan struct{}, opts.MaxConns),
+		conns: make(map[*conn]struct{}),
+	}
+}
+
+// Metrics returns the server's live counters (safe at any time, from any
+// goroutine).
+func (s *Server) Metrics() *Metrics { return &s.met }
+
+// conn is one accepted connection.
+type conn struct {
+	nc net.Conn
+}
+
+// Serve accepts connections on ln until Shutdown. It always returns a
+// non-nil error: ErrServerClosed after a clean shutdown, the accept error
+// otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		// Acquire a connection slot before accepting so the server never
+		// holds more than MaxConns connections; waiting dials sit in the
+		// kernel backlog.
+		s.sem <- struct{}{}
+		nc, err := ln.Accept()
+		if err != nil {
+			<-s.sem
+			if s.draining.Load() {
+				return ErrServerClosed
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		c := &conn{nc: nc}
+		s.mu.Lock()
+		if s.draining.Load() {
+			// Shutdown raced the accept: refuse politely.
+			s.mu.Unlock()
+			s.refuse(nc)
+			<-s.sem
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.met.ConnsAccepted.Add(1)
+		s.met.ConnsActive.Add(1)
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, c)
+				s.mu.Unlock()
+				s.met.ConnsActive.Add(-1)
+				s.wg.Done()
+				<-s.sem
+			}()
+			s.handle(c)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// refuse answers a connection accepted mid-shutdown with a single
+// CodeShutdown error frame and closes it.
+func (s *Server) refuse(nc net.Conn) {
+	_ = nc.SetWriteDeadline(time.Now().Add(s.opts.DrainGrace))
+	_ = wire.WriteFrame(nc, wire.TError, wire.AppendError(nil, wire.CodeShutdown, "server draining"))
+	_ = nc.Close()
+}
+
+// Shutdown drains the server: stop accepting, answer every in-flight
+// request, give each connection DrainGrace to flush pipelined frames, then
+// close. It returns nil when every connection finished cleanly, or the
+// context error if the deadline force-closed stragglers.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	// Nudge connections blocked in an idle read: shorten their read
+	// deadline to the drain grace so the handler loop observes the drain.
+	for c := range s.conns {
+		_ = c.nc.SetReadDeadline(time.Now().Add(s.opts.DrainGrace))
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// handle runs one connection's read-dispatch-respond loop.
+func (s *Server) handle(c *conn) {
+	defer c.nc.Close()
+	var respBuf []byte
+	for {
+		if s.draining.Load() {
+			_ = c.nc.SetReadDeadline(time.Now().Add(s.opts.DrainGrace))
+		} else {
+			_ = c.nc.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
+		t, payload, err := wire.ReadFrame(c.nc)
+		if err != nil {
+			// EOF, idle timeout, drain-grace expiry, or a broken frame:
+			// all end the connection. Nothing read means nothing owed.
+			s.logf("conn %s: read: %v", c.nc.RemoteAddr(), err)
+			return
+		}
+		// The frame is fully read: from here the request is in-flight and
+		// the drain protocol guarantees it an answer.
+		if s.testHookBeforeHandle != nil {
+			s.testHookBeforeHandle(t)
+		}
+		start := time.Now()
+		respType, respPayload := s.dispatch(t, payload, respBuf[:0])
+		s.met.RequestLatency.Observe(time.Since(start))
+		respBuf = respPayload // reuse the payload buffer across requests
+		_ = c.nc.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		if err := wire.WriteFrame(c.nc, respType, respPayload); err != nil {
+			s.logf("conn %s: write: %v", c.nc.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// response couples a response frame's type and payload.
+type response struct {
+	t       wire.Type
+	payload []byte
+}
+
+// dispatch answers one request, enforcing the per-request timeout with a
+// watchdog: the engine call cannot be aborted (engine APIs are
+// synchronous), but the client receives an in-order CodeTimeout error
+// instead of waiting unboundedly. A timed-out request may therefore still
+// take effect server-side — documented in wire.CodeTimeout.
+func (s *Server) dispatch(t wire.Type, payload, buf []byte) (wire.Type, []byte) {
+	done := make(chan response, 1)
+	go func() {
+		done <- s.process(t, payload, buf)
+	}()
+	timer := time.NewTimer(s.opts.RequestTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return r.t, r.payload
+	case <-timer.C:
+		s.met.Timeouts.Add(1)
+		s.met.Errors.Add(1)
+		return wire.TError, wire.AppendError(nil, wire.CodeTimeout,
+			fmt.Sprintf("request exceeded %v", s.opts.RequestTimeout))
+	}
+}
+
+// process computes the response for one request. buf is an optional
+// scratch buffer the payload may be appended to.
+func (s *Server) process(t wire.Type, payload, buf []byte) response {
+	if s.testHookInProcess != nil {
+		s.testHookInProcess(t)
+	}
+	switch t {
+	case wire.TPing:
+		s.met.Pings.Add(1)
+		return response{wire.TPong, append(buf, payload...)}
+	case wire.TStats:
+		s.met.StatsReqs.Add(1)
+		stats := s.db.Stats()
+		text := fmt.Sprintf("pending=%d invalid=%d\n", stats.PendingInserts, s.db.InvalidCount()) +
+			s.db.Metrics().String()
+		return response{wire.TStatsText, append(buf, text...)}
+	case wire.TQuery:
+		s.met.Queries.Add(1)
+		res, err := s.db.Query(string(payload))
+		if err != nil {
+			s.met.Errors.Add(1)
+			return response{wire.TError, wire.AppendError(buf, wire.CodeQuery, err.Error())}
+		}
+		out := wire.AppendResult(buf, res)
+		if len(out)+1 > wire.MaxFrame {
+			s.met.Errors.Add(1)
+			return response{wire.TError, wire.AppendError(nil, wire.CodeTooLarge,
+				fmt.Sprintf("result of %d bytes exceeds the frame limit", len(out)))}
+		}
+		return response{wire.TResult, out}
+	case wire.TExec:
+		s.met.Execs.Add(1)
+		if err := s.db.Exec(string(payload)); err != nil {
+			s.met.Errors.Add(1)
+			return response{wire.TError, wire.AppendError(buf, wire.CodeQuery, err.Error())}
+		}
+		return response{wire.TOK, buf}
+	default:
+		s.met.Errors.Add(1)
+		return response{wire.TError, wire.AppendError(buf, wire.CodeBadRequest,
+			fmt.Sprintf("unknown request type %v", t))}
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}

@@ -1,0 +1,420 @@
+// Package wire defines the F²DB client/server protocol: a length-prefixed
+// framed binary encoding carried over any byte stream (in practice TCP).
+// Both ends of the connection — internal/server and internal/fclient —
+// speak exactly this package, so the codec lives in neither.
+//
+// Frame layout (all integers big-endian):
+//
+//	uint32  length   // length of everything after this field: type + payload
+//	byte    type     // message type, see the T* constants
+//	[]byte  payload  // type-specific body, may be empty
+//
+// A frame body is capped at MaxFrame; a peer announcing a larger frame is
+// protocol-broken and the connection is torn down rather than resynced.
+// Responses on a connection are delivered strictly in request order, which
+// is what makes client-side pipelining (many requests in flight on one
+// connection) possible without request IDs.
+//
+// Payload encodings are deliberately primitive — uvarints for counts and
+// IDs, length-prefixed UTF-8 for strings, IEEE-754 bits for measures — so
+// the decoder is small enough to fuzz exhaustively (FuzzDecodeFrame).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"cubefc/internal/f2db"
+)
+
+// MaxFrame bounds the frame body (type byte + payload). 16 MiB comfortably
+// holds the largest drill-down result while keeping a malicious length
+// prefix from ballooning server memory.
+const MaxFrame = 1 << 24
+
+// Type identifies a message. Requests have the high bit clear, responses
+// have it set; TError may answer any request.
+type Type byte
+
+// Request types.
+const (
+	// TQuery carries a SELECT statement (payload: SQL text) and is
+	// answered by TResult or TError. Queries are idempotent: clients may
+	// retry them on a fresh connection.
+	TQuery Type = 0x01
+	// TExec carries an INSERT statement (payload: SQL text) and is
+	// answered by TOK or TError. Execs are NOT idempotent (a duplicate
+	// insert in the same batch is an error), so clients must not blindly
+	// retry them.
+	TExec Type = 0x02
+	// TPing (payload echoed verbatim) probes liveness; answered by TPong.
+	TPing Type = 0x03
+	// TStats requests the engine counter snapshot; answered by TStatsText
+	// (payload: the Metrics string rendering).
+	TStats Type = 0x04
+)
+
+// Response types.
+const (
+	TResult    Type = 0x81
+	TOK        Type = 0x82
+	TPong      Type = 0x83
+	TStatsText Type = 0x84
+	TError     Type = 0xE0
+)
+
+// IsRequest reports whether t is a request type a server should accept.
+func (t Type) IsRequest() bool {
+	switch t {
+	case TQuery, TExec, TPing, TStats:
+		return true
+	}
+	return false
+}
+
+// IsResponse reports whether t is a response type a client should accept.
+func (t Type) IsResponse() bool {
+	switch t {
+	case TResult, TOK, TPong, TStatsText, TError:
+		return true
+	}
+	return false
+}
+
+// String names the type for logs and errors.
+func (t Type) String() string {
+	switch t {
+	case TQuery:
+		return "QUERY"
+	case TExec:
+		return "EXEC"
+	case TPing:
+		return "PING"
+	case TStats:
+		return "STATS"
+	case TResult:
+		return "RESULT"
+	case TOK:
+		return "OK"
+	case TPong:
+		return "PONG"
+	case TStatsText:
+		return "STATS_TEXT"
+	case TError:
+		return "ERROR"
+	}
+	return fmt.Sprintf("wire.Type(0x%02x)", byte(t))
+}
+
+// Error codes carried by TError payloads.
+const (
+	// CodeBadRequest: the frame was well-formed but the request was not
+	// (unknown type, malformed payload).
+	CodeBadRequest uint16 = 1
+	// CodeQuery: the engine rejected the statement (parse error, unknown
+	// node, duplicate insert, ...). The request WAS processed.
+	CodeQuery uint16 = 2
+	// CodeTimeout: the per-request timeout elapsed before the engine
+	// answered. The request may still take effect server-side.
+	CodeTimeout uint16 = 3
+	// CodeShutdown: the server is draining and no longer accepts work.
+	CodeShutdown uint16 = 4
+	// CodeTooLarge: the response exceeded MaxFrame.
+	CodeTooLarge uint16 = 5
+)
+
+// ServerError is a decoded TError response: the server processed (or
+// explicitly rejected) the request, so it is NOT a transport failure and
+// clients must not retry it on a new connection.
+type ServerError struct {
+	Code    uint16
+	Message string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("f2db server error %d: %s", e.Code, e.Message)
+}
+
+// Frame-level errors.
+var (
+	// ErrFrameTooLarge reports a length prefix above MaxFrame (or zero,
+	// which cannot hold the type byte).
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	errEmptyFrame    = errors.New("wire: zero-length frame")
+	errShortPayload  = errors.New("wire: truncated payload")
+)
+
+// AppendFrame appends a complete frame to dst and returns the extended
+// slice. It is the zero-allocation building block WriteFrame uses.
+func AppendFrame(dst []byte, t Type, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(1+len(payload)))
+	dst = append(dst, byte(t))
+	return append(dst, payload...)
+}
+
+// WriteFrame writes one frame. The caller is responsible for flushing any
+// buffered writer it hands in.
+func WriteFrame(w io.Writer, t Type, payload []byte) error {
+	if 1+len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, returning its type and payload. The payload
+// is freshly allocated and owned by the caller. io.EOF is returned
+// unwrapped when the stream ends cleanly between frames; a stream ending
+// mid-frame yields io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (Type, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, errEmptyFrame
+	}
+	if n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return Type(body[0]), body[1:], nil
+}
+
+// DecodeFrame decodes one frame from a byte slice, returning the remainder
+// after the frame. It is the pure-function twin of ReadFrame that the
+// fuzzer drives.
+func DecodeFrame(data []byte) (t Type, payload, rest []byte, err error) {
+	if len(data) < 4 {
+		return 0, nil, nil, io.ErrUnexpectedEOF
+	}
+	n := binary.BigEndian.Uint32(data[:4])
+	if n == 0 {
+		return 0, nil, nil, errEmptyFrame
+	}
+	if n > MaxFrame {
+		return 0, nil, nil, ErrFrameTooLarge
+	}
+	if uint32(len(data)-4) < n {
+		return 0, nil, nil, io.ErrUnexpectedEOF
+	}
+	body := data[4 : 4+n]
+	return Type(body[0]), body[1:], data[4+n:], nil
+}
+
+// --- payload codecs ------------------------------------------------------
+
+// appendString appends a uvarint length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendError encodes a TError payload: uint16 code + message text.
+func AppendError(dst []byte, code uint16, msg string) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, code)
+	return append(dst, msg...)
+}
+
+// DecodeError decodes a TError payload.
+func DecodeError(payload []byte) (*ServerError, error) {
+	if len(payload) < 2 {
+		return nil, errShortPayload
+	}
+	return &ServerError{
+		Code:    binary.BigEndian.Uint16(payload[:2]),
+		Message: string(payload[2:]),
+	}, nil
+}
+
+// Result payload layout:
+//
+//	byte    flags            // bit 0: Forecast
+//	string  plan             // uvarint len + bytes, may be empty
+//	uvarint numGroups        // >= 1 for a well-formed result
+//	per group:
+//	  uvarint node
+//	  string  nodeKey
+//	  string  member
+//	  uvarint numRows
+//	  per row: uvarint t, float64 value, float64 lo, float64 hi
+//
+// Result.Node/NodeKey/Rows (the first-group conveniences) are not encoded;
+// DecodeResult reconstructs them from Groups[0].
+const (
+	resultFlagForecast = 1 << 0
+
+	// minGroupEnc / minRowEnc are the smallest possible encodings of a
+	// group and a row; the decoder uses them to reject count fields that
+	// could not possibly fit in the remaining payload before allocating.
+	minGroupEnc = 4  // node(1) + keyLen(1) + memberLen(1) + numRows(1)
+	minRowEnc   = 25 // t(1) + 3×float64(24)
+)
+
+// AppendResult encodes a query result.
+func AppendResult(dst []byte, r *f2db.Result) []byte {
+	var flags byte
+	if r.Forecast {
+		flags |= resultFlagForecast
+	}
+	dst = append(dst, flags)
+	dst = appendString(dst, r.Plan)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Groups)))
+	for _, grp := range r.Groups {
+		dst = binary.AppendUvarint(dst, uint64(grp.Node))
+		dst = appendString(dst, grp.NodeKey)
+		dst = appendString(dst, grp.Member)
+		dst = binary.AppendUvarint(dst, uint64(len(grp.Rows)))
+		for _, row := range grp.Rows {
+			dst = binary.AppendUvarint(dst, uint64(row.T))
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(row.Value))
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(row.Lo))
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(row.Hi))
+		}
+	}
+	return dst
+}
+
+// resultDecoder walks a Result payload.
+type resultDecoder struct {
+	buf []byte
+}
+
+func (d *resultDecoder) byte() (byte, error) {
+	if len(d.buf) < 1 {
+		return 0, errShortPayload
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b, nil
+}
+
+func (d *resultDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		return 0, errShortPayload
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+func (d *resultDecoder) count(min int) (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	// Reject counts that cannot fit in the remaining bytes so a hostile
+	// payload cannot force a huge allocation.
+	if min > 0 && v > uint64(len(d.buf)/min) {
+		return 0, errShortPayload
+	}
+	return int(v), nil
+}
+
+func (d *resultDecoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.buf)) {
+		return "", errShortPayload
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s, nil
+}
+
+func (d *resultDecoder) float() (float64, error) {
+	if len(d.buf) < 8 {
+		return 0, errShortPayload
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.buf[:8]))
+	d.buf = d.buf[8:]
+	return v, nil
+}
+
+// DecodeResult decodes a TResult payload.
+func DecodeResult(payload []byte) (*f2db.Result, error) {
+	d := &resultDecoder{buf: payload}
+	flags, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	res := &f2db.Result{Forecast: flags&resultFlagForecast != 0}
+	if res.Plan, err = d.str(); err != nil {
+		return nil, err
+	}
+	numGroups, err := d.count(minGroupEnc)
+	if err != nil {
+		return nil, err
+	}
+	if numGroups == 0 {
+		return nil, errors.New("wire: result with zero groups")
+	}
+	res.Groups = make([]f2db.Group, 0, numGroups)
+	for i := 0; i < numGroups; i++ {
+		var grp f2db.Group
+		node, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		grp.Node = int(node)
+		if grp.NodeKey, err = d.str(); err != nil {
+			return nil, err
+		}
+		if grp.Member, err = d.str(); err != nil {
+			return nil, err
+		}
+		numRows, err := d.count(minRowEnc)
+		if err != nil {
+			return nil, err
+		}
+		grp.Rows = make([]f2db.QueryRow, numRows)
+		for j := range grp.Rows {
+			t, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			grp.Rows[j].T = int(t)
+			if grp.Rows[j].Value, err = d.float(); err != nil {
+				return nil, err
+			}
+			if grp.Rows[j].Lo, err = d.float(); err != nil {
+				return nil, err
+			}
+			if grp.Rows[j].Hi, err = d.float(); err != nil {
+				return nil, err
+			}
+		}
+		res.Groups = append(res.Groups, grp)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after result", len(d.buf))
+	}
+	res.Node = res.Groups[0].Node
+	res.NodeKey = res.Groups[0].NodeKey
+	res.Rows = res.Groups[0].Rows
+	return res, nil
+}

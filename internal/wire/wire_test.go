@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cubefc/internal/f2db"
+)
+
+func sampleResult() *f2db.Result {
+	groups := []f2db.Group{
+		{
+			Node:    7,
+			NodeKey: "P1|R2",
+			Member:  "R2",
+			Rows: []f2db.QueryRow{
+				{T: 36, Value: 123.5, Lo: 100.25, Hi: 150.75},
+				{T: 37, Value: 130, Lo: 0, Hi: 0},
+			},
+		},
+		{
+			Node:    9,
+			NodeKey: "P1|R3",
+			Member:  "R3",
+			Rows:    []f2db.QueryRow{{T: 36, Value: math.Inf(1)}},
+		},
+	}
+	return &f2db.Result{
+		Node:     groups[0].Node,
+		NodeKey:  groups[0].NodeKey,
+		Rows:     groups[0].Rows,
+		Groups:   groups,
+		Forecast: true,
+		Plan:     "aggregation from [a, b] weight 1.000000",
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("SELECT 1"), bytes.Repeat([]byte{0xAB}, 4096)}
+	types := []Type{TQuery, TExec, TPing, TStats, TResult, TError}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, types[i%len(types)], p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, p := range payloads {
+		typ, got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != types[i%len(types)] {
+			t.Fatalf("frame %d: type %v, want %v", i, typ, types[i%len(types)])
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+	}
+	if _, _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("expected io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestDecodeFrameMatchesReadFrame(t *testing.T) {
+	data := AppendFrame(nil, TQuery, []byte("SELECT time, SUM(m) FROM facts"))
+	data = AppendFrame(data, TPong, nil)
+	typ, payload, rest, err := DecodeFrame(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != TQuery || string(payload) != "SELECT time, SUM(m) FROM facts" {
+		t.Fatalf("decoded %v %q", typ, payload)
+	}
+	typ, payload, rest, err = DecodeFrame(rest)
+	if err != nil || typ != TPong || len(payload) != 0 || len(rest) != 0 {
+		t.Fatalf("second frame: %v %v %d %d", err, typ, len(payload), len(rest))
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, _, err := ReadFrame(bytes.NewReader(hdr[:])); err != ErrFrameTooLarge {
+		t.Fatalf("oversized frame: got %v, want ErrFrameTooLarge", err)
+	}
+	binary.BigEndian.PutUint32(hdr[:], 0)
+	if _, _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	full := AppendFrame(nil, TQuery, []byte("SELECT"))
+	for cut := 1; cut < len(full); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	want := sampleResult()
+	payload := AppendResult(nil, want)
+	got, err := DecodeResult(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDecodeResultRejectsJunk(t *testing.T) {
+	valid := AppendResult(nil, sampleResult())
+	// Every truncation must error, never panic.
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := DecodeResult(valid[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage is rejected too.
+	if _, err := DecodeResult(append(append([]byte{}, valid...), 0x00)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// A hostile group count must not allocate gigabytes.
+	hostile := []byte{0}         // flags
+	hostile = append(hostile, 0) // empty plan
+	hostile = binary.AppendUvarint(hostile, 1<<40)
+	if _, err := DecodeResult(hostile); err == nil {
+		t.Fatal("hostile group count accepted")
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	payload := AppendError(nil, CodeQuery, "f2db: no time series for X")
+	se, err := DecodeError(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.Code != CodeQuery || se.Message != "f2db: no time series for X" {
+		t.Fatalf("decoded %+v", se)
+	}
+	if !strings.Contains(se.Error(), "server error 2") {
+		t.Fatalf("Error() = %q", se.Error())
+	}
+	if _, err := DecodeError([]byte{0x01}); err == nil {
+		t.Fatal("short error payload accepted")
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	for _, typ := range []Type{TQuery, TExec, TPing, TStats} {
+		if !typ.IsRequest() || typ.IsResponse() {
+			t.Fatalf("%v misclassified", typ)
+		}
+	}
+	for _, typ := range []Type{TResult, TOK, TPong, TStatsText, TError} {
+		if typ.IsRequest() || !typ.IsResponse() {
+			t.Fatalf("%v misclassified", typ)
+		}
+	}
+	if Type(0x7F).IsRequest() || Type(0x7F).IsResponse() {
+		t.Fatal("unknown type classified")
+	}
+	if Type(0x7F).String() == "" {
+		t.Fatal("unknown type has empty String")
+	}
+}

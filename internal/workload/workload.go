@@ -9,11 +9,15 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cubefc/internal/cube"
 	"cubefc/internal/f2db"
+	"cubefc/internal/fclient"
 )
 
 // Generator produces random forecast queries and plausible insert values
@@ -56,6 +60,34 @@ func (w *Generator) QuerySQL(nodeID, steps int) string {
 	}
 	sql += fmt.Sprintf(" GROUP BY time AS OF now() + '%d steps'", steps)
 	return sql
+}
+
+// InsertSQL renders a batch of base-series values (keyed by base node ID)
+// as one multi-row INSERT statement in the engine's dialect, rows in
+// ascending node-ID order. This is the write path of remote workloads:
+// a statement per writer stream, executed over the wire by fclient.Exec.
+func (w *Generator) InsertSQL(batch map[int]float64) string {
+	ids := make([]int, 0, len(batch))
+	for id := range batch {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	b.WriteString("INSERT INTO facts VALUES ")
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for _, cell := range w.g.Nodes[id].Coord {
+			b.WriteString("'")
+			b.WriteString(cell.Value)
+			b.WriteString("', ")
+		}
+		b.WriteString(strconv.FormatFloat(batch[id], 'f', -1, 64))
+		b.WriteString(")")
+	}
+	return b.String()
 }
 
 // SplitBatch partitions a full insert batch into n sub-batches of near-equal
@@ -149,8 +181,24 @@ type Options struct {
 	// insert streams: the batch is split into InsertWriters disjoint parts
 	// applied by concurrent goroutines, exercising the engine's striped
 	// write path. 0 or 1 keeps the single sequential stream. Ignored when
-	// PerPointInserts is set.
+	// PerPointInserts is set. In remote mode this is the N of "N writer
+	// connections": each stream executes its part as one multi-row INSERT
+	// over its own pooled connection.
 	InsertWriters int
+
+	// RemoteAddr, when non-empty, drives a live f2dbd at this address over
+	// internal/fclient instead of the in-process engine: queries go
+	// through the wire protocol (always SQL — UseSQL is implied), inserts
+	// through multi-row INSERT statements. The generator's graph must
+	// match the data set the daemon serves. The db argument to Run is
+	// ignored and may be nil; engine-side QueryTime/MaintainTime are not
+	// populated (they live in the server process — scrape its /metrics
+	// endpoint instead).
+	RemoteAddr string
+	// RemoteReaders is the M of "M reader connections" in remote mode:
+	// forecast queries are issued from this many concurrent goroutines,
+	// each with its own pooled connection. Default 1.
+	RemoteReaders int
 }
 
 // Run executes the interleaved workload against the engine: for every time
@@ -165,6 +213,9 @@ func Run(db *f2db.DB, gen *Generator, opts Options) (RunResult, error) {
 	}
 	if opts.Horizon <= 0 {
 		opts.Horizon = 1
+	}
+	if opts.RemoteAddr != "" {
+		return runRemote(gen, opts)
 	}
 	var res RunResult
 	statsBefore := db.Stats()
@@ -243,5 +294,97 @@ func Run(db *f2db.DB, gen *Generator, opts Options) (RunResult, error) {
 	res.Reestimations = after.Reestimations - statsBefore.Reestimations
 	res.QueryTime = after.QueryTime - statsBefore.QueryTime
 	res.MaintainTime = after.MaintainTime - statsBefore.MaintainTime
+	return res, nil
+}
+
+// runRemote executes the interleaved workload against a live f2dbd over
+// the wire protocol: per time point, the batch is split over N writer
+// connections (Options.InsertWriters) each executing its part as one
+// multi-row INSERT, then the batch's query share is issued from M reader
+// connections (Options.RemoteReaders). Writer and reader traffic use
+// separate clients so insert statements never queue behind pipelined
+// query bursts.
+func runRemote(gen *Generator, opts Options) (RunResult, error) {
+	writers := opts.InsertWriters
+	if writers < 1 {
+		writers = 1
+	}
+	readers := opts.RemoteReaders
+	if readers < 1 {
+		readers = 1
+	}
+	writeC, err := fclient.Dial(opts.RemoteAddr, fclient.Options{PoolSize: writers})
+	if err != nil {
+		return RunResult{}, fmt.Errorf("workload: dialing %s: %w", opts.RemoteAddr, err)
+	}
+	defer writeC.Close()
+	readC, err := fclient.Dial(opts.RemoteAddr, fclient.Options{PoolSize: readers})
+	if err != nil {
+		return RunResult{}, fmt.Errorf("workload: dialing %s: %w", opts.RemoteAddr, err)
+	}
+	defer readC.Close()
+
+	var res RunResult
+	start := time.Now()
+	var queryTime atomic.Int64
+	var queries atomic.Int64
+	numBase := len(gen.g.BaseIDs)
+	for tp := 0; tp < opts.TimePoints; tp++ {
+		batch := gen.NextBatch()
+		parts := SplitBatch(batch, writers)
+		werrs := make([]error, len(parts))
+		var wg sync.WaitGroup
+		for i, part := range parts {
+			wg.Add(1)
+			go func(i int, part map[int]float64) {
+				defer wg.Done()
+				werrs[i] = writeC.Exec(gen.InsertSQL(part))
+			}(i, part)
+		}
+		wg.Wait()
+		for _, err := range werrs {
+			if err != nil {
+				return res, fmt.Errorf("workload: remote insert: %w", err)
+			}
+		}
+		res.Inserts += len(batch)
+
+		// The batch's query share, spread over the reader connections.
+		// Node and horizon choices come from the generator up front so the
+		// stream stays deterministic regardless of goroutine scheduling.
+		total := opts.QueriesPerInsert * numBase
+		sqls := make([]string, total)
+		for q := range sqls {
+			sqls[q] = gen.QuerySQL(gen.RandomNode(), opts.Horizon)
+		}
+		rerrs := make([]error, readers)
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				for q := r; q < total; q += readers {
+					qs := time.Now()
+					_, err := readC.Query(sqls[q])
+					queryTime.Add(time.Since(qs).Nanoseconds())
+					if err != nil {
+						rerrs[r] = fmt.Errorf("workload: remote query: %w", err)
+						return
+					}
+					queries.Add(1)
+				}
+			}(r)
+		}
+		wg.Wait()
+		for _, err := range rerrs {
+			if err != nil {
+				return res, err
+			}
+		}
+	}
+	res.Queries = int(queries.Load())
+	res.TotalTime = time.Since(start)
+	if res.Queries > 0 {
+		res.AvgQueryTime = time.Duration(queryTime.Load()) / time.Duration(res.Queries)
+	}
 	return res, nil
 }

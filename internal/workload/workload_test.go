@@ -1,12 +1,16 @@
 package workload
 
 import (
+	"context"
+	"net"
 	"testing"
+	"time"
 
 	"cubefc/internal/core"
 	"cubefc/internal/cube"
 	"cubefc/internal/datasets"
 	"cubefc/internal/f2db"
+	"cubefc/internal/server"
 )
 
 func testDB(t *testing.T) (*f2db.DB, *Generator, *cube.Graph) {
@@ -145,5 +149,58 @@ func TestRunParallelWriters(t *testing.T) {
 	}
 	if db.Stats().PendingInserts != 0 {
 		t.Fatalf("pending = %d after run", db.Stats().PendingInserts)
+	}
+}
+
+// TestRunRemote drives the workload over the wire protocol against an
+// in-process server and checks it performs the same work the local mode
+// would: every insert lands (batches complete, nothing pending) and every
+// query is answered.
+func TestRunRemote(t *testing.T) {
+	db, gen, _ := testDB(t)
+	srv := server.New(db, server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		<-done
+	}()
+
+	opts := Options{
+		TimePoints:       3,
+		QueriesPerInsert: 2,
+		InsertWriters:    2,
+		RemoteAddr:       ln.Addr().String(),
+		RemoteReaders:    3,
+	}
+	res, err := Run(nil, gen, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numBase := db.Graph().NumBase()
+	if res.Inserts != opts.TimePoints*numBase {
+		t.Fatalf("Inserts = %d, want %d", res.Inserts, opts.TimePoints*numBase)
+	}
+	if want := opts.TimePoints * opts.QueriesPerInsert * numBase; res.Queries != want {
+		t.Fatalf("Queries = %d, want %d", res.Queries, want)
+	}
+	st := db.Stats()
+	if st.Inserts != opts.TimePoints*numBase || st.PendingInserts != 0 {
+		t.Fatalf("engine absorbed %d inserts (%d pending), want %d (0 pending)",
+			st.Inserts, st.PendingInserts, opts.TimePoints*numBase)
+	}
+	if st.Batches != opts.TimePoints {
+		t.Fatalf("Batches = %d, want %d", st.Batches, opts.TimePoints)
+	}
+	if res.TotalTime <= 0 || res.AvgQueryTime <= 0 {
+		t.Fatalf("timings not populated: %+v", res)
 	}
 }
