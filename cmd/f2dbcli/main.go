@@ -56,7 +56,7 @@ func main() {
 	eager := flag.Bool("eager-reestimate", false, "re-fit invalidated models right after the batch advance instead of lazily on first query")
 	coldRefit := flag.Bool("cold-refit", false, "disable warm-started re-estimation (full cold parameter search on every re-fit)")
 	remote := flag.String("remote", "", "connect to a running f2dbd at this address instead of opening a local engine")
-	execStmt := flag.String("exec", "", "execute one statement (SQL, \\ping or \\stats) and exit")
+	execStmt := flag.String("exec", "", "execute one statement (SQL, \\ping, \\stats, \\info or \\save PATH) and exit")
 	wlPoints := flag.Int("workload", 0, "run the interleaved insert/query workload for this many time points instead of the REPL")
 	wlQueries := flag.Int("workload-queries", 4, "workload: forecast queries per insert")
 	wlHorizon := flag.Int("workload-horizon", 1, "workload: forecast horizon in steps")
@@ -266,6 +266,19 @@ func printWorkload(res workload.RunResult) {
 	}
 }
 
+// saveDB snapshots the engine to path.
+func saveDB(db *f2db.DB, path string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f2db.SaveDatabase(fh, db); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}
+
 // localStmt executes one statement against the in-process engine.
 func localStmt(db *f2db.DB, stmt string) error {
 	switch {
@@ -275,6 +288,13 @@ func localStmt(db *f2db.DB, stmt string) error {
 	case stmt == `\stats`:
 		fmt.Printf("pending=%d invalid=%d\n", db.Stats().PendingInserts, db.InvalidCount())
 		fmt.Print(db.Metrics())
+		return nil
+	case strings.HasPrefix(stmt, `\save `):
+		path := strings.TrimSpace(strings.TrimPrefix(stmt, `\save `))
+		if err := saveDB(db, path); err != nil {
+			return err
+		}
+		fmt.Printf("database saved to %s (reopen with -db %s)\n", path, path)
 		return nil
 	case strings.HasPrefix(strings.ToLower(stmt), "insert"):
 		if err := db.Exec(stmt); err != nil {
@@ -307,6 +327,13 @@ func remoteStmt(cl *fclient.Client, stmt string) error {
 			return err
 		}
 		fmt.Print(text)
+		return nil
+	case stmt == `\info`:
+		info, err := cl.Info()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("nonce=%016x inserts=%d batches=%d\n", info.Nonce, info.Inserts, info.Batches)
 		return nil
 	case strings.HasPrefix(strings.ToLower(stmt), "insert"):
 		if err := cl.Exec(stmt); err != nil {
@@ -375,17 +402,7 @@ func repl(db *f2db.DB, name string) {
 			fmt.Print(db.Metrics())
 		case strings.HasPrefix(line, `\save `):
 			path := strings.TrimSpace(strings.TrimPrefix(line, `\save `))
-			fh, err := os.Create(path)
-			if err != nil {
-				fmt.Println("error:", err)
-				continue
-			}
-			if err := f2db.SaveDatabase(fh, db); err != nil {
-				fmt.Println("error:", err)
-				fh.Close()
-				continue
-			}
-			if err := fh.Close(); err != nil {
+			if err := saveDB(db, path); err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
@@ -472,7 +489,8 @@ meta:
   \stats   engine counters      \models      list models
   \health  model maintenance    \save F      snapshot database
   \help    this help            \quit        exit
-  (remote shells support \stats and \ping; \save runs on the daemon side
+  (remote shells support \stats, \ping and \info — the server's process
+  nonce and applied insert/batch counters; \save runs on the daemon side
   via f2dbd -save)
 `)
 }

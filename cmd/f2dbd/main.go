@@ -8,6 +8,14 @@
 //
 //	f2dbd -dataset tourism -addr :7071
 //	f2dbd -db snapshot.f2db -addr :7071 -metrics :9090 -save snapshot.f2db
+//	f2dbd -coordinator -shards host1:7071,host2:7071 -dataset tourism -addr :7070
+//
+// In -coordinator mode the daemon holds no engine: it routes statements
+// to the f2dbd shards listed in -shards (each serving a full replica of
+// the same data set) over the same wire protocol it serves, so clients
+// are indifferent to whether they talk to a shard or the coordinator.
+// The data set (or snapshot) is still loaded — for its hyper graph, which
+// the statement router resolves queries against.
 //
 // On SIGTERM or SIGINT the daemon stops accepting connections, answers
 // every in-flight request, optionally saves a snapshot (-save), and exits
@@ -22,9 +30,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"cubefc/internal/coord"
 	"cubefc/internal/core"
 	"cubefc/internal/experiments"
 	"cubefc/internal/f2db"
@@ -46,38 +56,82 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request processing timeout (0 = default 30s)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "idle connection timeout (0 = default 5m)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain deadline before in-flight connections are force-closed")
+	coordinator := flag.Bool("coordinator", false, "route statements to the -shards cluster instead of serving a local engine")
+	shardsFlag := flag.String("shards", "", "comma-separated f2dbd shard addresses (coordinator mode)")
 	flag.Parse()
 
-	db, name, err := openEngine(*dbPath, *dataset, *configPath, f2db.Options{
-		Strategy:        f2db.TimeBased{Every: 8},
-		Stripes:         *stripes,
-		Parallelism:     *parallelism,
-		EagerReestimate: *eager,
-		ColdRefit:       *coldRefit,
-	})
-	if err != nil {
-		fail(err)
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "f2dbd: "+format+"\n", args...)
 	}
-
-	srv := server.New(db, server.Options{
+	srvOpts := server.Options{
 		MaxConns:       *maxConns,
 		RequestTimeout: *reqTimeout,
 		IdleTimeout:    *idleTimeout,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "f2dbd: "+format+"\n", args...)
-		},
-	})
+		Logf:           logf,
+	}
+
+	var (
+		db      *f2db.DB
+		co      *coord.Coordinator
+		srv     *server.Server
+		metrics []f2db.Collector
+		name    string
+	)
+	if *coordinator {
+		if *shardsFlag == "" {
+			fail(fmt.Errorf("-coordinator requires -shards"))
+		}
+		if *savePath != "" {
+			fail(fmt.Errorf("-save needs a local engine; the shards own the data in coordinator mode"))
+		}
+		addrs := strings.Split(*shardsFlag, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		planner, gname, err := openPlanner(*dbPath, *dataset)
+		if err != nil {
+			fail(err)
+		}
+		co, err = coord.New(planner, addrs, coord.Options{Logf: logf})
+		if err != nil {
+			fail(err)
+		}
+		srv = server.NewBackend(co, srvOpts)
+		metrics = []f2db.Collector{co.Metrics().Collector(), srv.Metrics().Collector()}
+		name = fmt.Sprintf("%s across %d shards", gname, len(addrs))
+	} else {
+		var err error
+		db, name, err = openEngine(*dbPath, *dataset, *configPath, f2db.Options{
+			Strategy:        f2db.TimeBased{Every: 8},
+			Stripes:         *stripes,
+			Parallelism:     *parallelism,
+			EagerReestimate: *eager,
+			ColdRefit:       *coldRefit,
+		})
+		if err != nil {
+			fail(err)
+		}
+		srv = server.New(db, srvOpts)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("f2dbd: serving %s (%d nodes, %d models) on %s\n",
-		name, db.Graph().NumNodes(), db.Configuration().NumModels(), ln.Addr())
+	if co != nil {
+		fmt.Printf("f2dbd: coordinating %s on %s\n", name, ln.Addr())
+	} else {
+		fmt.Printf("f2dbd: serving %s (%d nodes, %d models) on %s\n",
+			name, db.Graph().NumNodes(), db.Configuration().NumModels(), ln.Addr())
+	}
 
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
-		f2db.MountMetrics(mux, db, srv.Metrics().Collector())
+		if co != nil {
+			f2db.MountCollectors(mux, metrics...)
+		} else {
+			f2db.MountMetrics(mux, db, srv.Metrics().Collector())
+		}
 		mln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			fail(err)
@@ -103,6 +157,9 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		drainErr := srv.Shutdown(ctx)
 		cancel()
+		if co != nil {
+			_ = co.Close()
+		}
 		if *savePath != "" {
 			if err := saveSnapshot(*savePath, db); err != nil {
 				fail(err)
@@ -114,6 +171,34 @@ func main() {
 		}
 		fmt.Println("f2dbd: drained cleanly")
 	}
+}
+
+// openPlanner loads just the statement router the coordinator needs: a
+// planner over a snapshot's graph when dbPath is set, the data set's
+// otherwise. Shards must serve replicas of the same data set, or routing
+// and results drift.
+func openPlanner(dbPath, dataset string) (*f2db.Planner, string, error) {
+	if dbPath != "" {
+		fh, err := os.Open(dbPath)
+		if err != nil {
+			return nil, "", err
+		}
+		defer fh.Close()
+		db, err := f2db.LoadDatabase(fh, f2db.Options{Strategy: f2db.Never{}, Stripes: -1})
+		if err != nil {
+			return nil, "", err
+		}
+		return db.Planner(), dbPath, nil
+	}
+	ds, err := experiments.LoadDataset(dataset, experiments.Quick)
+	if err != nil {
+		return nil, "", err
+	}
+	g, err := ds.Graph()
+	if err != nil {
+		return nil, "", err
+	}
+	return f2db.NewPlanner(g, 0), ds.Name, nil
 }
 
 // openEngine builds the engine the daemon serves: a snapshot restore when

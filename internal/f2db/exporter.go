@@ -39,6 +39,18 @@ func MountMetrics(mux *http.ServeMux, db *DB, extra ...Collector) {
 	mux.Handle("/metrics", db.MetricsHandler(extra...))
 }
 
+// MountCollectors mounts a /metrics endpoint serving only the given
+// collectors' families — for processes that serve without an engine, like
+// the cluster coordinator (its shards hold the engines and their metrics).
+func MountCollectors(mux *http.ServeMux, cs ...Collector) {
+	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, c := range cs {
+			c(w)
+		}
+	}))
+}
+
 func writePrometheus(w io.Writer, db *DB) {
 	m := db.Metrics()
 	counter := func(name, help string, v int64) {

@@ -1,0 +1,131 @@
+package f2db
+
+import (
+	"fmt"
+	"time"
+
+	"cubefc/internal/cube"
+)
+
+// This file is the routing half of the Section V query processor: the
+// statement rewrite (query text → referenced graph nodes) factored out of
+// the engine so a process that holds no series data — the cluster
+// coordinator in internal/coord — can route statements to the shards that
+// do. The Planner shares the parser and the node-resolution code with
+// DB.Query, which guarantees that the node set, the member order and every
+// rejection message match what a single-process engine would produce.
+
+// Planner resolves statements against a hyper graph without an engine.
+// It is immutable after construction and safe for concurrent use.
+type Planner struct {
+	g    *cube.Graph
+	step time.Duration
+}
+
+// NewPlanner returns a planner over the graph. step is the engine's
+// StepDuration (horizon translation); 0 selects the engine default (24h).
+func NewPlanner(g *cube.Graph, step time.Duration) *Planner {
+	if step <= 0 {
+		step = 24 * time.Hour
+	}
+	return &Planner{g: g, step: step}
+}
+
+// Planner returns a routing planner over this engine's graph and step
+// duration — how a coordinator built from a loaded snapshot obtains one
+// without reaching into the engine.
+func (db *DB) Planner() *Planner {
+	return NewPlanner(db.graph, db.stepDuration)
+}
+
+// Route is the routing view of one SELECT: the described node per result
+// group and, for multi-node (drill-down) statements, an equivalent
+// single-node sub-statement per member whose results concatenate — in
+// member order — to the drill-down's groups.
+type Route struct {
+	// Nodes holds the described graph node IDs, one per result group, in
+	// the exact group order DB.Query would produce.
+	Nodes []int
+	// Members holds the grouping member per node ("" for single-node
+	// statements), parallel to Nodes.
+	Members []string
+	// SubSQL holds the per-member single-node rewrite of a drill-down
+	// statement, parallel to Nodes; nil when the statement already
+	// describes a single node (route it verbatim).
+	SubSQL []string
+	// Forecast marks AS OF statements; Explain marks EXPLAIN statements
+	// (routed verbatim to the first node's owner, never scattered, so the
+	// answer matches a direct connection).
+	Forecast bool
+	// Explain marks EXPLAIN statements.
+	Explain bool
+}
+
+// RouteQuery plans a SELECT for routing. Errors match DB.Query's planning
+// errors byte-for-byte, so a coordinator rejecting a statement is
+// indistinguishable from a shard rejecting it.
+func (p *Planner) RouteQuery(sql string) (*Route, error) {
+	stmt, err := parseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	// Validate the horizon up front exactly like buildPlan, so malformed
+	// AS OF clauses are rejected at the coordinator instead of fanning out.
+	if stmt.horizon != "" && !stmt.explain {
+		if _, err := parseHorizonIn(p.step, stmt.horizon); err != nil {
+			return nil, err
+		}
+	}
+	r := &Route{Forecast: stmt.horizon != "" && !stmt.explain, Explain: stmt.explain}
+	if stmt.groupLevel == "" {
+		n, err := resolveNodeIn(p.g, stmt)
+		if err != nil {
+			return nil, err
+		}
+		r.Nodes, r.Members = []int{n.ID}, []string{""}
+		return r, nil
+	}
+	nodes, members, err := resolveGroupNodesIn(p.g, stmt)
+	if err != nil {
+		return nil, err
+	}
+	r.Nodes = make([]int, len(nodes))
+	r.Members = members
+	r.SubSQL = make([]string, len(nodes))
+	for i, n := range nodes {
+		r.Nodes[i] = n.ID
+		sub := *stmt
+		// Pin the grouped dimension to this member: the drill-down's group
+		// i is exactly the single-node query with the member as an extra
+		// equality predicate (resolveGroupNodesIn matched the node the
+		// same way resolveNodeIn will).
+		sub.preds = append(append([]predicate(nil), stmt.preds...),
+			predicate{attr: stmt.groupLevel, value: members[i]})
+		sub.groupLevel = ""
+		r.SubSQL[i] = sub.String()
+	}
+	return r, nil
+}
+
+// RouteExec parses an INSERT for routing and reports its row count.
+// Coordinators use the count to realign a restarted shard's replay cursor
+// against the engine's applied-insert counter (wire.Info.Inserts counts
+// accepted rows, so cursor boundaries fall on cumulative row counts).
+func (p *Planner) RouteExec(sql string) (rows int, err error) {
+	stmt, err := parseInsert(sql)
+	if err != nil {
+		return 0, err
+	}
+	return len(stmt.rows), nil
+}
+
+// NumNodes reports the graph's node count (shard-map sizing).
+func (p *Planner) NumNodes() int { return p.g.NumNodes() }
+
+// NodeKey renders a node's canonical coordinate key, for diagnostics.
+func (p *Planner) NodeKey(id int) string {
+	if id < 0 || id >= len(p.g.Nodes) {
+		return fmt.Sprintf("node(%d)", id)
+	}
+	return p.g.Nodes[id].Key(p.g.Dims)
+}

@@ -1,0 +1,128 @@
+package f2db
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRouteQueryMatchesEngine: the planner must describe exactly the nodes
+// (and member order) the engine's own rewrite produces.
+func TestRouteQueryMatchesEngine(t *testing.T) {
+	db, g, _ := testEngine(t, nil)
+	p := NewPlanner(g, 0)
+	queries := []string{
+		"SELECT time, sales FROM facts WHERE product = 'P1' AND city = 'C2'",
+		"SELECT time, SUM(sales) FROM facts WHERE region = 'R2'",
+		"SELECT time, SUM(sales) FROM facts",
+		"SELECT time, SUM(sales) FROM facts WHERE product = 'P2' AS OF now() + '2 steps'",
+		"SELECT time, SUM(sales) FROM facts WHERE product = 'P1' GROUP BY time, region AS OF now() + '1 day' WITH INTERVAL 95",
+		"SELECT time, SUM(sales) FROM facts GROUP BY time, city",
+	}
+	for _, q := range queries {
+		route, err := p.RouteQuery(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("%s: engine: %v", q, err)
+		}
+		if len(route.Nodes) != len(res.Groups) {
+			t.Fatalf("%s: route has %d nodes, engine %d groups", q, len(route.Nodes), len(res.Groups))
+		}
+		for i, grp := range res.Groups {
+			if route.Nodes[i] != grp.Node || route.Members[i] != grp.Member {
+				t.Fatalf("%s: group %d: route (%d, %q), engine (%d, %q)",
+					q, i, route.Nodes[i], route.Members[i], grp.Node, grp.Member)
+			}
+		}
+		if route.Forecast != res.Forecast {
+			t.Fatalf("%s: route forecast %v, engine %v", q, route.Forecast, res.Forecast)
+		}
+	}
+}
+
+// TestRouteSubQueriesBitExact: executing each per-member sub-statement of a
+// drill-down against the engine must reproduce the drill-down's groups
+// bit-for-bit — the property the coordinator's scatter-gather merge relies
+// on.
+func TestRouteSubQueriesBitExact(t *testing.T) {
+	db, g, _ := testEngine(t, nil)
+	p := NewPlanner(g, 0)
+	for _, q := range []string{
+		"SELECT time, SUM(sales) FROM facts WHERE product = 'P1' GROUP BY time, region",
+		"SELECT time, SUM(sales) FROM facts GROUP BY time, city AS OF now() + '3 steps' WITH INTERVAL 90",
+		"SELECT time, AVG(sales) FROM facts GROUP BY time, product AS OF now() + '1 day'",
+	} {
+		route, err := p.RouteQuery(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if route.SubSQL == nil {
+			t.Fatalf("%s: expected a multi-node route", q)
+		}
+		want, err := db.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, sub := range route.SubSQL {
+			got, err := db.Query(sub)
+			if err != nil {
+				t.Fatalf("%s → %s: %v", q, sub, err)
+			}
+			if len(got.Groups) != 1 {
+				t.Fatalf("%s: sub-query returned %d groups", sub, len(got.Groups))
+			}
+			wg, gg := want.Groups[i], got.Groups[0]
+			if gg.Node != wg.Node {
+				t.Fatalf("%s: sub %d resolved node %d, want %d", q, i, gg.Node, wg.Node)
+			}
+			if len(gg.Rows) != len(wg.Rows) {
+				t.Fatalf("%s: sub %d has %d rows, want %d", q, i, len(gg.Rows), len(wg.Rows))
+			}
+			for j := range gg.Rows {
+				if math.Float64bits(gg.Rows[j].Value) != math.Float64bits(wg.Rows[j].Value) ||
+					math.Float64bits(gg.Rows[j].Lo) != math.Float64bits(wg.Rows[j].Lo) ||
+					math.Float64bits(gg.Rows[j].Hi) != math.Float64bits(wg.Rows[j].Hi) ||
+					gg.Rows[j].T != wg.Rows[j].T {
+					t.Fatalf("%s: sub %d row %d differs: %+v vs %+v", q, i, j, gg.Rows[j], wg.Rows[j])
+				}
+			}
+		}
+	}
+}
+
+// TestRouteErrorsMatchEngine: planning rejections must carry the same
+// message the engine would produce.
+func TestRouteErrorsMatchEngine(t *testing.T) {
+	db, g, _ := testEngine(t, nil)
+	p := NewPlanner(g, 0)
+	for _, q := range []string{
+		"SELECT time, sales FROM facts WHERE planet = 'X'",
+		"SELECT time, sales FROM facts WHERE city = 'C9'",
+		"SELECT time, sales FROM facts AS OF now() + 'someday'",
+		"SELECT time, SUM(sales) FROM facts GROUP BY time, region WHERE",
+	} {
+		_, rerr := p.RouteQuery(q)
+		_, eerr := db.Query(q)
+		if (rerr == nil) != (eerr == nil) {
+			t.Fatalf("%s: route err %v, engine err %v", q, rerr, eerr)
+		}
+		if rerr != nil && rerr.Error() != eerr.Error() {
+			t.Fatalf("%s: route says %q, engine says %q", q, rerr, eerr)
+		}
+	}
+}
+
+// TestRouteExecRowCount: INSERT row counts drive replay-cursor alignment.
+func TestRouteExecRowCount(t *testing.T) {
+	_, g, _ := testEngine(t, nil)
+	p := NewPlanner(g, 0)
+	n, err := p.RouteExec("INSERT INTO facts VALUES ('P1', 'C1', 10), ('P1', 'C2', 11), ('P2', 'C1', 12)")
+	if err != nil || n != 3 {
+		t.Fatalf("RouteExec: n=%d err=%v", n, err)
+	}
+	if _, err := p.RouteExec("INSERT INTO facts VALUES ()"); err == nil {
+		t.Fatal("malformed INSERT accepted")
+	}
+}

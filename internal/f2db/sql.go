@@ -305,17 +305,17 @@ func (db *DB) buildPlan(stmt *selectStmt) (*queryPlan, error) {
 	var err error
 	plan := &queryPlan{stmt: stmt}
 	if stmt.groupLevel != "" {
-		plan.nodes, plan.members, err = db.resolveGroupNodes(stmt)
+		plan.nodes, plan.members, err = resolveGroupNodesIn(db.graph, stmt)
 	} else {
 		var n *cube.Node
-		n, err = db.resolveNode(stmt)
+		n, err = resolveNodeIn(db.graph, stmt)
 		plan.nodes, plan.members = []*cube.Node{n}, []string{""}
 	}
 	if err != nil {
 		return nil, err
 	}
 	if stmt.horizon != "" && !stmt.explain {
-		plan.horizon, err = db.parseHorizon(stmt.horizon)
+		plan.horizon, err = parseHorizonIn(db.stepDuration, stmt.horizon)
 		if err != nil {
 			return nil, err
 		}
@@ -401,11 +401,16 @@ func (db *DB) buildRows(n *cube.Node, stmt *selectStmt, h int, g guard) ([]Query
 	return rows, nil
 }
 
-// resolveGroupNodes resolves a GROUP BY <level> query: the named level must
-// belong to a dimension not constrained in the WHERE clause; one node per
-// member value at that level is returned, member-ordered.
-func (db *DB) resolveGroupNodes(stmt *selectStmt) ([]*cube.Node, []string, error) {
-	dims := db.graph.Dims
+// resolveGroupNodesIn resolves a GROUP BY <level> query against a graph:
+// the named level must belong to a dimension not constrained in the WHERE
+// clause; one node per member value at that level is returned,
+// member-ordered. Resolution needs only the immutable graph structure — no
+// engine — so the cluster coordinator's Planner shares this exact code
+// path with the engine's query rewrite (bit-identical node sets and member
+// order are what make scatter-gather merges comparable to a single-process
+// run).
+func resolveGroupNodesIn(g *cube.Graph, stmt *selectStmt) ([]*cube.Node, []string, error) {
+	dims := g.Dims
 	groupDim, groupLvl := -1, -1
 	for d := range dims {
 		if lvl := dims[d].LevelIndex(stmt.groupLevel); lvl >= 0 && lvl < dims[d].AllLevel() {
@@ -447,7 +452,7 @@ func (db *DB) resolveGroupNodes(stmt *selectStmt) ([]*cube.Node, []string, error
 	// at the requested level.
 	var nodes []*cube.Node
 	var members []string
-	for _, n := range db.graph.Nodes {
+	for _, n := range g.Nodes {
 		if n.Coord[groupDim].Level != groupLvl {
 			continue
 		}
@@ -486,11 +491,12 @@ func (b byMember) Swap(i, j int) {
 }
 func (b byMember) Less(i, j int) bool { return b.members[i] < b.members[j] }
 
-// resolveNode rewrites the WHERE clause into a graph coordinate: every
+// resolveNodeIn rewrites the WHERE clause into a graph coordinate: every
 // predicate attribute must name a hierarchy level of some dimension;
-// unconstrained dimensions aggregate to ALL.
-func (db *DB) resolveNode(stmt *selectStmt) (*cube.Node, error) {
-	dims := db.graph.Dims
+// unconstrained dimensions aggregate to ALL. Engine-free for the same
+// reason as resolveGroupNodesIn.
+func resolveNodeIn(g *cube.Graph, stmt *selectStmt) (*cube.Node, error) {
+	dims := g.Dims
 	coord := make(cube.Coord, len(dims))
 	bound := make([]bool, len(dims))
 	for d := range dims {
@@ -515,16 +521,16 @@ func (db *DB) resolveNode(stmt *selectStmt) (*cube.Node, error) {
 			return nil, fmt.Errorf("f2db: unknown attribute %q in WHERE clause", p.attr)
 		}
 	}
-	n := db.graph.Lookup(coord)
+	n := g.Lookup(coord)
 	if n == nil {
 		return nil, fmt.Errorf("f2db: no time series for %s", coord.Key(dims))
 	}
 	return n, nil
 }
 
-// parseHorizon translates an AS OF interval like "1 day" or "6 steps" into
-// a number of forecast steps using the engine's step duration.
-func (db *DB) parseHorizon(interval string) (int, error) {
+// parseHorizonIn translates an AS OF interval like "1 day" or "6 steps"
+// into a number of forecast steps using the given step duration.
+func parseHorizonIn(step time.Duration, interval string) (int, error) {
 	fields := strings.Fields(strings.TrimSpace(interval))
 	if len(fields) != 2 {
 		return 0, fmt.Errorf("f2db: malformed AS OF interval %q (want '<n> <unit>')", interval)
@@ -553,7 +559,7 @@ func (db *DB) parseHorizon(interval string) (int, error) {
 	default:
 		return 0, fmt.Errorf("f2db: unknown AS OF unit %q", fields[1])
 	}
-	steps := int(float64(n) * float64(d) / float64(db.stepDuration))
+	steps := int(float64(n) * float64(d) / float64(step))
 	if steps < 1 {
 		steps = 1
 	}

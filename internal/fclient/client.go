@@ -3,16 +3,30 @@
 // TCP connections, pipelines concurrent requests over them (responses on a
 // connection arrive strictly in request order, so a FIFO of waiting calls
 // per connection suffices — no request IDs), and transparently reconnects.
-// Idempotent requests (Query, Ping, Stats) are retried once per configured
-// retry on a fresh connection after a transport failure; Exec (INSERT) is
-// never retried, because a duplicate insert into the same batch is an
-// engine error and the first attempt may have applied.
+//
+// Retry policy: every request gets 1+Retries attempts, separated by
+// jittered exponential backoff. Failures where provably zero bytes of the
+// request reached the wire — a failed dial, a connection already known
+// dead, a full pipeline — are safe to retry for ANY request, including
+// Exec. Once the frame may have been written, only idempotent requests
+// (Query, Ping, Stats, Info) are retried; Exec (INSERT) is not, because a
+// duplicate insert into the same batch is an engine error and the first
+// attempt may have applied. Server errors (wire.ServerError) are never
+// retried — the server answered.
+//
+// Health tracking: consecutive transport failures beyond
+// Options.SickThreshold put the address in a cooldown during which slots
+// fail fast with ErrUnhealthy instead of redialing (existing live
+// connections keep being used). After Options.SickCooldown the next
+// request is allowed through as a probe; its outcome either clears the
+// counter or starts a new cooldown.
 package fclient
 
 import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -35,10 +49,23 @@ type Options struct {
 	// on it; they surface transport errors and retry if idempotent.
 	// Default 30s.
 	RequestTimeout time.Duration
-	// Retries is how many times an idempotent request is re-sent on a
-	// fresh connection after a transport failure. Default 1. Server
-	// errors (wire.ServerError) are never retried — the server answered.
+	// Retries is how many extra attempts a request gets after a transport
+	// failure (see the package doc for which failures are retryable for
+	// non-idempotent requests). Default 1. Server errors
+	// (wire.ServerError) are never retried — the server answered.
 	Retries int
+	// BackoffBase is the delay before the first retry; each further retry
+	// doubles it, capped at BackoffMax, with ±50% jitter. Defaults 25ms
+	// and 1s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// SickThreshold is the consecutive transport-failure count at which
+	// the address enters cooldown and redials fail fast with ErrUnhealthy.
+	// Default 3.
+	SickThreshold int
+	// SickCooldown is how long redials fail fast once the address is
+	// sick. Default 1s.
+	SickCooldown time.Duration
 }
 
 func (o *Options) withDefaults() Options {
@@ -55,11 +82,29 @@ func (o *Options) withDefaults() Options {
 	if out.Retries < 0 {
 		out.Retries = 0
 	}
+	if out.BackoffBase <= 0 {
+		out.BackoffBase = 25 * time.Millisecond
+	}
+	if out.BackoffMax <= 0 {
+		out.BackoffMax = time.Second
+	}
+	if out.SickThreshold <= 0 {
+		out.SickThreshold = 3
+	}
+	if out.SickCooldown <= 0 {
+		out.SickCooldown = time.Second
+	}
 	return out
 }
 
 // ErrClosed is returned by requests on a closed client.
 var ErrClosed = errors.New("fclient: client closed")
+
+// ErrUnhealthy is returned (wrapped) when a redial is refused because the
+// address is in its sick cooldown. It is a transport-level failure:
+// IsRetryable reports true, and a later attempt (after the cooldown) will
+// probe the address again.
+var ErrUnhealthy = errors.New("fclient: address unhealthy, in cooldown")
 
 // errConnBroken marks transport-level failures eligible for reconnect.
 var errConnBroken = errors.New("fclient: connection broken")
@@ -76,6 +121,16 @@ type Client struct {
 	slots  []slot
 	next   atomic.Uint64
 	closed atomic.Bool
+
+	// Health state: consecutive transport failures and the cooldown
+	// deadline (UnixNano; 0 = healthy) they arm once past SickThreshold.
+	fails     atomic.Int32
+	sickUntil atomic.Int64
+
+	// now and sleep are the clock; tests substitute them to drive the
+	// backoff and cooldown logic deterministically.
+	now   func() time.Time
+	sleep func(time.Duration)
 }
 
 // slot is one pool position: a lazily (re)dialed connection.
@@ -85,14 +140,31 @@ type slot struct {
 }
 
 // Dial creates a client for the server at addr and verifies connectivity
-// with a Ping on one pooled connection.
+// with a Ping on one pooled connection. On any failure — including a
+// server-error answer to the verification Ping — the pool is closed
+// before returning, so no connection or readLoop goroutine outlives a
+// failed Dial.
 func Dial(addr string, opts Options) (*Client, error) {
-	c := &Client{addr: addr, opts: opts.withDefaults()}
-	c.slots = make([]slot, c.opts.PoolSize)
+	c := NewClient(addr, opts)
 	if err := c.Ping(); err != nil {
+		_ = c.Close()
 		return nil, fmt.Errorf("fclient: dial %s: %w", addr, err)
 	}
 	return c, nil
+}
+
+// NewClient creates a client without verifying connectivity: connections
+// are dialed lazily on first use. Callers that tolerate an initially-down
+// server (the cluster coordinator's recovery loop) use it instead of Dial.
+func NewClient(addr string, opts Options) *Client {
+	c := &Client{
+		addr:  addr,
+		opts:  opts.withDefaults(),
+		now:   time.Now,
+		sleep: time.Sleep,
+	}
+	c.slots = make([]slot, c.opts.PoolSize)
+	return c
 }
 
 // Close closes every pooled connection. In-flight requests fail with
@@ -123,7 +195,9 @@ func (c *Client) Query(sql string) (*f2db.Result, error) {
 	return wire.DecodeResult(payload)
 }
 
-// Exec executes an INSERT (not idempotent; never retried).
+// Exec executes an INSERT. Not idempotent: it is retried only on failures
+// where provably nothing was sent (failed dials), never once the frame may
+// have reached the server.
 func (c *Client) Exec(sql string) error {
 	t, _, err := c.do(wire.TExec, []byte(sql), false)
 	if err != nil {
@@ -159,29 +233,89 @@ func (c *Client) Stats() (string, error) {
 	return string(payload), nil
 }
 
-// do runs one request with pooling, pipelining and (for idempotent
-// requests) retry-on-reconnect.
+// Info fetches the server's identity snapshot: its start nonce and applied
+// insert/batch counters (idempotent). Cluster coordinators use it to tell
+// a restarted server from a network blip.
+func (c *Client) Info() (wire.Info, error) {
+	t, payload, err := c.do(wire.TInfo, nil, true)
+	if err != nil {
+		return wire.Info{}, err
+	}
+	if t != wire.TInfoData {
+		return wire.Info{}, fmt.Errorf("fclient: unexpected %v response to INFO", t)
+	}
+	return wire.DecodeInfo(payload)
+}
+
+// Healthy reports whether the address is outside its sick cooldown (new
+// connections may be dialed). It does not probe the network.
+func (c *Client) Healthy() bool {
+	until := c.sickUntil.Load()
+	return until == 0 || c.now().UnixNano() >= until
+}
+
+// noteFailure records one transport failure; crossing SickThreshold arms
+// (or re-arms, for the half-open probe that fails) the cooldown.
+func (c *Client) noteFailure() {
+	if int(c.fails.Add(1)) >= c.opts.SickThreshold {
+		c.sickUntil.Store(c.now().Add(c.opts.SickCooldown).UnixNano())
+	}
+}
+
+// noteSuccess clears the failure streak and any cooldown.
+func (c *Client) noteSuccess() {
+	c.fails.Store(0)
+	c.sickUntil.Store(0)
+}
+
+// backoff sleeps before retry attempt a (a >= 1): exponential from
+// BackoffBase, capped at BackoffMax, with ±50% jitter so a fleet of
+// clients retrying a recovered server does not stampede it.
+func (c *Client) backoff(a int) {
+	d := c.opts.BackoffBase << (a - 1)
+	if d <= 0 || d > c.opts.BackoffMax {
+		d = c.opts.BackoffMax
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	c.sleep(d)
+}
+
+// do runs one request with pooling, pipelining, backoff and retries. Every
+// request gets 1+Retries attempts; an attempt that fails after the frame
+// may have been written stops a non-idempotent request immediately (see
+// the package doc).
 func (c *Client) do(t wire.Type, payload []byte, idempotent bool) (wire.Type, []byte, error) {
 	if c.closed.Load() {
 		return 0, nil, ErrClosed
 	}
-	attempts := 1
-	if idempotent {
-		attempts += c.opts.Retries
-	}
+	attempts := 1 + c.opts.Retries
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if c.closed.Load() {
 			return 0, nil, ErrClosed
 		}
+		if a > 0 {
+			c.backoff(a)
+		}
 		sl := &c.slots[c.next.Add(1)%uint64(len(c.slots))]
 		cn, err := sl.get(c)
 		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return 0, nil, ErrClosed
+			}
+			if !errors.Is(err, ErrUnhealthy) {
+				// A refused redial during cooldown is not new evidence
+				// against the address; only real dial failures count.
+				c.noteFailure()
+			}
+			// Dial-time failure: zero bytes were sent, so retrying is safe
+			// for any request, Exec included.
 			lastErr = err
 			continue
 		}
-		rt, rp, err := cn.roundtrip(t, payload, c.opts.RequestTimeout)
+		rt, rp, sent, err := cn.roundtrip(t, payload, c.opts.RequestTimeout)
 		if err == nil {
+			c.noteSuccess()
 			if rt == wire.TError {
 				se, derr := wire.DecodeError(rp)
 				if derr != nil {
@@ -196,18 +330,33 @@ func (c *Client) do(t wire.Type, payload []byte, idempotent bool) (wire.Type, []
 		// Transport failure: this connection is unusable; drop it so the
 		// next acquisition redials.
 		sl.discard(cn)
+		c.noteFailure()
 		lastErr = err
+		if sent && !idempotent {
+			// The frame may have reached the server; a duplicate INSERT is
+			// an engine error, so surface instead of retrying.
+			return 0, nil, err
+		}
 	}
 	return 0, nil, lastErr
 }
 
 // get returns the slot's live connection, dialing a fresh one if the slot
-// is empty or its connection died.
+// is empty or its connection died. The closed check lives under the slot
+// lock so a racing Close cannot sweep the pool between the check and the
+// install — without it, a request racing Close could install (and leak) a
+// fresh connection after the sweep.
 func (sl *slot) get(c *Client) (*conn, error) {
 	sl.mu.Lock()
 	defer sl.mu.Unlock()
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
 	if sl.c != nil && !sl.c.dead.Load() {
 		return sl.c, nil
+	}
+	if !c.Healthy() {
+		return nil, fmt.Errorf("%w: %w", errConnBroken, ErrUnhealthy)
 	}
 	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
 	if err != nil {
@@ -262,20 +411,26 @@ func newConn(nc net.Conn) *conn {
 	return c
 }
 
-// roundtrip sends one frame and waits for its in-order response.
-func (c *conn) roundtrip(t wire.Type, payload []byte, timeout time.Duration) (wire.Type, []byte, error) {
+// roundtrip sends one frame and waits for its in-order response. The sent
+// result reports whether any of the frame may have been written: failures
+// with sent == false (connection already dead, pipeline full) provably put
+// zero bytes on the wire and are safe to retry even for non-idempotent
+// requests.
+func (c *conn) roundtrip(t wire.Type, payload []byte, timeout time.Duration) (_ wire.Type, _ []byte, sent bool, _ error) {
 	ca := &call{done: make(chan struct{})}
 	c.wmu.Lock()
 	if c.dead.Load() {
 		c.wmu.Unlock()
-		return 0, nil, c.lastErr()
+		return 0, nil, false, c.lastErr()
 	}
 	select {
 	case c.pending <- ca:
 	default:
 		c.wmu.Unlock()
-		return 0, nil, fmt.Errorf("%w: pipeline full (%d in flight)", errConnBroken, maxPipeline)
+		return 0, nil, false, fmt.Errorf("%w: pipeline full (%d in flight)", errConnBroken, maxPipeline)
 	}
+	// From here the frame write is attempted: even a write error may have
+	// put a partial frame on the wire.
 	err := wire.WriteFrame(c.bw, t, payload)
 	if err == nil {
 		err = c.bw.Flush()
@@ -291,7 +446,7 @@ func (c *conn) roundtrip(t wire.Type, payload []byte, timeout time.Duration) (wi
 	defer timer.Stop()
 	select {
 	case <-ca.done:
-		return ca.t, ca.payload, ca.err
+		return ca.t, ca.payload, true, ca.err
 	case <-timer.C:
 		// A pipelined connection that lost one response cannot be reused:
 		// every later response would shift onto the wrong call. Poison it
@@ -299,10 +454,10 @@ func (c *conn) roundtrip(t wire.Type, payload []byte, timeout time.Duration) (wi
 		c.fail(fmt.Errorf("%w: request timed out after %v", errConnBroken, timeout))
 		<-ca.done
 		if ca.err != nil {
-			return 0, nil, ca.err
+			return 0, nil, true, ca.err
 		}
 		// The response arrived in the closing race; use it.
-		return ca.t, ca.payload, nil
+		return ca.t, ca.payload, true, nil
 	}
 }
 

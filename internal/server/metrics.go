@@ -22,6 +22,7 @@ type Metrics struct {
 	Execs     atomic.Int64
 	Pings     atomic.Int64
 	StatsReqs atomic.Int64
+	InfoReqs  atomic.Int64
 	// Errors counts error responses (engine rejections, timeouts, bad
 	// requests); Timeouts the subset cut off by the per-request watchdog.
 	Errors   atomic.Int64
@@ -47,6 +48,7 @@ func (m *Metrics) Collector() f2db.Collector {
 		fmt.Fprintf(w, "f2dbd_requests_total{type=\"exec\"} %d\n", m.Execs.Load())
 		fmt.Fprintf(w, "f2dbd_requests_total{type=\"ping\"} %d\n", m.Pings.Load())
 		fmt.Fprintf(w, "f2dbd_requests_total{type=\"stats\"} %d\n", m.StatsReqs.Load())
+		fmt.Fprintf(w, "f2dbd_requests_total{type=\"info\"} %d\n", m.InfoReqs.Load())
 		counter("f2dbd_request_errors_total", "Error responses (engine rejections, timeouts, bad requests).", m.Errors.Load())
 		counter("f2dbd_request_timeouts_total", "Requests cut off by the per-request watchdog.", m.Timeouts.Load())
 		f2db.WritePromHistogram(w, "f2dbd_request_latency_seconds", "Per-request serve latency.", m.RequestLatency.Snapshot())

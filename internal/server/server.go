@@ -25,6 +25,8 @@ package server
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -35,6 +37,44 @@ import (
 	"cubefc/internal/f2db"
 	"cubefc/internal/wire"
 )
+
+// Backend is what a server serves: the engine-shaped request surface the
+// wire protocol maps onto. The embedded engine satisfies it via the
+// adapter in New; the cluster coordinator (internal/coord) satisfies it
+// directly, which is how a coordinator process speaks the same protocol as
+// a shard. Implementations must be safe for concurrent use.
+type Backend interface {
+	// Query answers a SELECT statement.
+	Query(sql string) (*f2db.Result, error)
+	// Exec applies an INSERT statement.
+	Exec(sql string) error
+	// StatsText renders the human-readable counter snapshot served for
+	// TStats requests.
+	StatsText() string
+	// Counts reports the applied base-value insert count and completed
+	// batch count, served (with the server's start nonce) for TInfo.
+	Counts() (inserts, batches uint64)
+}
+
+// engineBackend adapts an embedded *f2db.DB to the Backend interface.
+type engineBackend struct {
+	db *f2db.DB
+}
+
+func (b engineBackend) Query(sql string) (*f2db.Result, error) { return b.db.Query(sql) }
+
+func (b engineBackend) Exec(sql string) error { return b.db.Exec(sql) }
+
+func (b engineBackend) StatsText() string {
+	stats := b.db.Stats()
+	return fmt.Sprintf("pending=%d invalid=%d\n", stats.PendingInserts, b.db.InvalidCount()) +
+		b.db.Metrics().String()
+}
+
+func (b engineBackend) Counts() (uint64, uint64) {
+	stats := b.db.Stats()
+	return uint64(stats.Inserts), uint64(stats.Batches)
+}
 
 // ErrServerClosed is returned by Serve after Shutdown completes the drain.
 var ErrServerClosed = errors.New("server: closed")
@@ -82,11 +122,15 @@ func (o *Options) withDefaults() Options {
 	return out
 }
 
-// Server serves one engine over one listener.
+// Server serves one backend over one listener.
 type Server struct {
-	db   *f2db.DB
-	opts Options
-	met  Metrics
+	backend Backend
+	opts    Options
+	met     Metrics
+	// nonce identifies this server process lifetime for TInfo responses; a
+	// reconnecting peer seeing a different nonce knows the process (and any
+	// purely in-memory state) was replaced.
+	nonce uint64
 
 	sem      chan struct{} // accept gate
 	draining atomic.Bool
@@ -107,14 +151,35 @@ type Server struct {
 	testHookInProcess func(t wire.Type)
 }
 
-// New returns a server over the engine. Serve must be called to start it.
+// New returns a server over an embedded engine. Serve must be called to
+// start it.
 func New(db *f2db.DB, opts Options) *Server {
+	return NewBackend(engineBackend{db: db}, opts)
+}
+
+// NewBackend returns a server over an arbitrary backend (an engine
+// adapter, or a cluster coordinator). Serve must be called to start it.
+func NewBackend(b Backend, opts Options) *Server {
 	opts = opts.withDefaults()
 	return &Server{
-		db:    db,
-		opts:  opts,
-		sem:   make(chan struct{}, opts.MaxConns),
-		conns: make(map[*conn]struct{}),
+		backend: b,
+		opts:    opts,
+		nonce:   newNonce(),
+		sem:     make(chan struct{}, opts.MaxConns),
+		conns:   make(map[*conn]struct{}),
+	}
+}
+
+// newNonce draws a random non-zero process-lifetime identifier.
+func newNonce() uint64 {
+	var buf [8]byte
+	for {
+		if _, err := crand.Read(buf[:]); err != nil {
+			panic(fmt.Sprintf("server: nonce entropy unavailable: %v", err))
+		}
+		if n := binary.BigEndian.Uint64(buf[:]); n != 0 {
+			return n
+		}
 	}
 }
 
@@ -311,13 +376,18 @@ func (s *Server) process(t wire.Type, payload, buf []byte) response {
 		return response{wire.TPong, append(buf, payload...)}
 	case wire.TStats:
 		s.met.StatsReqs.Add(1)
-		stats := s.db.Stats()
-		text := fmt.Sprintf("pending=%d invalid=%d\n", stats.PendingInserts, s.db.InvalidCount()) +
-			s.db.Metrics().String()
-		return response{wire.TStatsText, append(buf, text...)}
+		return response{wire.TStatsText, append(buf, s.backend.StatsText()...)}
+	case wire.TInfo:
+		s.met.InfoReqs.Add(1)
+		inserts, batches := s.backend.Counts()
+		return response{wire.TInfoData, wire.AppendInfo(buf, wire.Info{
+			Nonce:   s.nonce,
+			Inserts: inserts,
+			Batches: batches,
+		})}
 	case wire.TQuery:
 		s.met.Queries.Add(1)
-		res, err := s.db.Query(string(payload))
+		res, err := s.backend.Query(string(payload))
 		if err != nil {
 			s.met.Errors.Add(1)
 			return response{wire.TError, wire.AppendError(buf, wire.CodeQuery, err.Error())}
@@ -331,7 +401,7 @@ func (s *Server) process(t wire.Type, payload, buf []byte) response {
 		return response{wire.TResult, out}
 	case wire.TExec:
 		s.met.Execs.Add(1)
-		if err := s.db.Exec(string(payload)); err != nil {
+		if err := s.backend.Exec(string(payload)); err != nil {
 			s.met.Errors.Add(1)
 			return response{wire.TError, wire.AppendError(buf, wire.CodeQuery, err.Error())}
 		}

@@ -417,8 +417,10 @@ func TestServerRequestTimeout(t *testing.T) {
 
 // TestClientRetryOnReconnect kills the server between two idempotent
 // requests: the pooled connection dies, and the retry redials transparently.
-// A non-idempotent Exec over a dead connection must surface the failure
-// instead of retrying.
+// A non-idempotent Exec is retried only on provably-unsent failures (a dead
+// connection detected before writing, a failed redial); with nothing
+// listening every attempt fails that way, so the Exec below still surfaces
+// a transport error rather than waiting for a server that is not there.
 func TestClientRetryOnReconnect(t *testing.T) {
 	db, _, g := twinEngines(t)
 	srv1, addr, done1 := startServer(t, db, Options{})
@@ -436,8 +438,10 @@ func TestClientRetryOnReconnect(t *testing.T) {
 
 	shutdownClean(t, srv1, done1)
 
-	// Exec on the now-dead connection: not retried, so it fails even
-	// though a new server comes up on the same address below.
+	// Exec on the now-dead connection: its failures (dead-conn check,
+	// failed redial) are zero-bytes-sent and thus retryable, but the new
+	// server only starts below — every attempt fails, and the error
+	// surfaces as transport-level.
 	execErr := cl.Exec("INSERT INTO facts VALUES ('P1', 'C1', 1.0)")
 	if execErr == nil {
 		t.Fatal("Exec over dead connection succeeded, want transport error")

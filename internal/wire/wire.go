@@ -55,6 +55,11 @@ const (
 	// TStats requests the engine counter snapshot; answered by TStatsText
 	// (payload: the Metrics string rendering).
 	TStats Type = 0x04
+	// TInfo requests the server identity snapshot (start nonce plus applied
+	// insert/batch counters); answered by TInfoData. Cluster coordinators
+	// use it to distinguish a restarted server (fresh nonce, counters reset)
+	// from a transient network failure, and to realign replay cursors.
+	TInfo Type = 0x05
 )
 
 // Response types.
@@ -63,13 +68,14 @@ const (
 	TOK        Type = 0x82
 	TPong      Type = 0x83
 	TStatsText Type = 0x84
+	TInfoData  Type = 0x85
 	TError     Type = 0xE0
 )
 
 // IsRequest reports whether t is a request type a server should accept.
 func (t Type) IsRequest() bool {
 	switch t {
-	case TQuery, TExec, TPing, TStats:
+	case TQuery, TExec, TPing, TStats, TInfo:
 		return true
 	}
 	return false
@@ -78,7 +84,7 @@ func (t Type) IsRequest() bool {
 // IsResponse reports whether t is a response type a client should accept.
 func (t Type) IsResponse() bool {
 	switch t {
-	case TResult, TOK, TPong, TStatsText, TError:
+	case TResult, TOK, TPong, TStatsText, TInfoData, TError:
 		return true
 	}
 	return false
@@ -95,6 +101,8 @@ func (t Type) String() string {
 		return "PING"
 	case TStats:
 		return "STATS"
+	case TInfo:
+		return "INFO"
 	case TResult:
 		return "RESULT"
 	case TOK:
@@ -103,6 +111,8 @@ func (t Type) String() string {
 		return "PONG"
 	case TStatsText:
 		return "STATS_TEXT"
+	case TInfoData:
+		return "INFO_DATA"
 	case TError:
 		return "ERROR"
 	}
@@ -247,6 +257,45 @@ func DecodeError(payload []byte) (*ServerError, error) {
 		Code:    binary.BigEndian.Uint16(payload[:2]),
 		Message: string(payload[2:]),
 	}, nil
+}
+
+// Info is a decoded TInfoData payload: one server process's identity and
+// progress snapshot.
+type Info struct {
+	// Nonce identifies one server process lifetime. It is drawn at server
+	// construction and never changes while the process lives, so a changed
+	// nonce on reconnect means the peer restarted and lost in-memory state.
+	Nonce uint64
+	// Inserts is the number of base-series values the engine has accepted
+	// since it was opened (engine restarts reset it).
+	Inserts uint64
+	// Batches is the number of completed batch advances.
+	Batches uint64
+}
+
+// AppendInfo encodes a TInfoData payload.
+func AppendInfo(dst []byte, in Info) []byte {
+	dst = binary.AppendUvarint(dst, in.Nonce)
+	dst = binary.AppendUvarint(dst, in.Inserts)
+	return binary.AppendUvarint(dst, in.Batches)
+}
+
+// DecodeInfo decodes a TInfoData payload.
+func DecodeInfo(payload []byte) (Info, error) {
+	var in Info
+	rest := payload
+	for _, dst := range []*uint64{&in.Nonce, &in.Inserts, &in.Batches} {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return Info{}, errShortPayload
+		}
+		*dst = v
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return Info{}, fmt.Errorf("wire: %d trailing bytes after info", len(rest))
+	}
+	return in, nil
 }
 
 // Result payload layout:

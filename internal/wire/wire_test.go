@@ -155,13 +155,38 @@ func TestErrorRoundTrip(t *testing.T) {
 	}
 }
 
+func TestInfoRoundTrip(t *testing.T) {
+	for _, want := range []Info{
+		{},
+		{Nonce: 1, Inserts: 2, Batches: 3},
+		{Nonce: math.MaxUint64, Inserts: 1 << 40, Batches: 12345},
+	} {
+		payload := AppendInfo(nil, want)
+		got, err := DecodeInfo(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+		for cut := 0; cut < len(payload); cut++ {
+			if _, err := DecodeInfo(payload[:cut]); err == nil {
+				t.Fatalf("truncation at %d accepted", cut)
+			}
+		}
+		if _, err := DecodeInfo(append(append([]byte{}, payload...), 0x00)); err == nil {
+			t.Fatal("trailing bytes accepted")
+		}
+	}
+}
+
 func TestTypePredicates(t *testing.T) {
-	for _, typ := range []Type{TQuery, TExec, TPing, TStats} {
+	for _, typ := range []Type{TQuery, TExec, TPing, TStats, TInfo} {
 		if !typ.IsRequest() || typ.IsResponse() {
 			t.Fatalf("%v misclassified", typ)
 		}
 	}
-	for _, typ := range []Type{TResult, TOK, TPong, TStatsText, TError} {
+	for _, typ := range []Type{TResult, TOK, TPong, TStatsText, TInfoData, TError} {
 		if typ.IsRequest() || !typ.IsResponse() {
 			t.Fatalf("%v misclassified", typ)
 		}

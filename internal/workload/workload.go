@@ -199,6 +199,16 @@ type Options struct {
 	// forecast queries are issued from this many concurrent goroutines,
 	// each with its own pooled connection. Default 1.
 	RemoteReaders int
+
+	// OnQueryResult, when non-nil, receives every query result together
+	// with the query's global sequence index in the deterministic
+	// statement stream. A local (UseSQL) run and a remote run with the
+	// same generator seed and options produce the same index→statement
+	// mapping, so twin runs compare results pairwise by index. Remote mode
+	// invokes it from the reader goroutines: it must be safe for
+	// concurrent use. Ignored on the local direct-node path (no SQL
+	// statement stream to index).
+	OnQueryResult func(i int, res *f2db.Result)
 }
 
 // Run executes the interleaved workload against the engine: for every time
@@ -226,7 +236,11 @@ func Run(db *f2db.DB, gen *Generator, opts Options) (RunResult, error) {
 		qs := time.Now()
 		var err error
 		if opts.UseSQL {
-			_, err = db.Query(gen.QuerySQL(node, opts.Horizon))
+			var r *f2db.Result
+			r, err = db.Query(gen.QuerySQL(node, opts.Horizon))
+			if err == nil && opts.OnQueryResult != nil {
+				opts.OnQueryResult(res.Queries, r)
+			}
 		} else {
 			_, err = db.ForecastNode(node, opts.Horizon)
 		}
@@ -353,6 +367,7 @@ func runRemote(gen *Generator, opts Options) (RunResult, error) {
 		// Node and horizon choices come from the generator up front so the
 		// stream stays deterministic regardless of goroutine scheduling.
 		total := opts.QueriesPerInsert * numBase
+		qbase := tp * total // global index of this point's first query
 		sqls := make([]string, total)
 		for q := range sqls {
 			sqls[q] = gen.QuerySQL(gen.RandomNode(), opts.Horizon)
@@ -364,11 +379,14 @@ func runRemote(gen *Generator, opts Options) (RunResult, error) {
 				defer wg.Done()
 				for q := r; q < total; q += readers {
 					qs := time.Now()
-					_, err := readC.Query(sqls[q])
+					qres, err := readC.Query(sqls[q])
 					queryTime.Add(time.Since(qs).Nanoseconds())
 					if err != nil {
 						rerrs[r] = fmt.Errorf("workload: remote query: %w", err)
 						return
+					}
+					if opts.OnQueryResult != nil {
+						opts.OnQueryResult(qbase+q, qres)
 					}
 					queries.Add(1)
 				}
