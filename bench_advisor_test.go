@@ -1,0 +1,77 @@
+package cubefc_test
+
+// BenchmarkAdvisorScale measures time-to-first-accepted-configuration of
+// the advisor across cube sizes, comparing the exact/eager baseline (full
+// graph materialization, exact indicators and derivation) against the
+// sampled/lazy pipeline (on-demand node materialization, reservoir-sampled
+// indicators, FlashP-style sampled derivation). Each iteration includes
+// graph construction: that is the cost a fresh cube pays before its first
+// advisor answer. Results are recorded in BENCH_advisor.json.
+
+import (
+	"fmt"
+	"testing"
+
+	"cubefc/internal/core"
+	"cubefc/internal/cube"
+	"cubefc/internal/datasets"
+)
+
+// advisorFirstConfig builds the graph in the requested mode and runs the
+// advisor until its first accepted configuration change (or hard stop).
+func advisorFirstConfig(b *testing.B, d *datasets.Dataset, lazy bool, sampleSize int) {
+	var g *cube.Graph
+	var err error
+	if lazy {
+		g, err = d.LazyGraph()
+	} else {
+		g, err = d.Graph()
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	accepted := 0
+	a, err := core.NewAdvisor(g, core.Options{
+		Seed:        42,
+		Parallelism: 2,
+		SampleSize:  sampleSize,
+		OnIteration: func(s core.Snapshot) { accepted += s.Accepted },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	for i := 0; i < 4 && accepted == 0; i++ {
+		done, err := a.Step()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	if a.Configuration().NumModels() < 1 {
+		b.Fatal("no model configured")
+	}
+}
+
+func BenchmarkAdvisorScale(b *testing.B) {
+	for _, nodes := range []int{1_000, 10_000, 100_000} {
+		opts := datasets.CubeGenForNodes(nodes, 2)
+		d := datasets.GenCube(1, opts)
+		for _, mode := range []struct {
+			name       string
+			lazy       bool
+			sampleSize int
+		}{
+			{"exact-eager", false, 0},
+			{"sampled-lazy", true, 32},
+		} {
+			b.Run(fmt.Sprintf("nodes=%d/%s", opts.NumNodes(), mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					advisorFirstConfig(b, d, mode.lazy, mode.sampleSize)
+				}
+			})
+		}
+	}
+}

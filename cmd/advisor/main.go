@@ -24,12 +24,15 @@ import (
 )
 
 func main() {
-	dataset := flag.String("dataset", "tourism", "data set: tourism, sales, energy, gen1k, gen10k")
+	dataset := flag.String("dataset", "tourism", "data set: tourism, sales, energy, gen1k, gen10k, cubeN (synthetic cube with ~N nodes, e.g. cube100k)")
 	seed := flag.Int64("seed", 42, "RNG seed for the multi-source probes")
 	alpha := flag.Float64("alpha", 0, "pin the acceptance parameter alpha (0 = paper schedule 0.1..1.0)")
 	maxModels := flag.Int("max-models", 0, "stop criterion: maximum number of models (0 = off)")
 	targetError := flag.Float64("target-error", 0, "stop criterion: target overall SMAPE (0 = off)")
 	progress := flag.Bool("progress", false, "print one line per advisor iteration")
+	sampleSize := flag.Int("sample-size", 0, "estimate indicators and derivations from this many sampled base series per node (0 = exact)")
+	exactMode := flag.Bool("exact", false, "force exact computation even when -sample-size is set")
+	lazy := flag.Bool("lazy", false, "build the cube with on-demand node materialization (large cubes)")
 	out := flag.String("out", "", "save the final configuration to this file")
 	paperScale := flag.Bool("paper-scale", false, "use paper-sized data sets")
 	csvPath := flag.String("csv", "", "load a fact-table CSV instead of a built-in data set")
@@ -71,7 +74,11 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		g, err = ds.Graph()
+		if *lazy {
+			g, err = ds.LazyGraph()
+		} else {
+			g, err = ds.Graph()
+		}
 		if err != nil {
 			fail(err)
 		}
@@ -84,6 +91,8 @@ func main() {
 		Seed:        *seed,
 		MaxModels:   *maxModels,
 		TargetError: *targetError,
+		SampleSize:  *sampleSize,
+		Exact:       *exactMode,
 	}
 	if *alpha > 0 {
 		opts.Alpha0, opts.AlphaMax = *alpha, *alpha
@@ -95,6 +104,17 @@ func main() {
 		}
 	}
 
+	var lastBound float64
+	if *sampleSize > 0 && !*exactMode {
+		prev := opts.OnIteration
+		opts.OnIteration = func(s core.Snapshot) {
+			lastBound = s.SampleBound
+			if prev != nil {
+				prev(s)
+			}
+		}
+	}
+
 	start := time.Now()
 	cfg, err := core.Run(g, opts)
 	if err != nil {
@@ -103,6 +123,9 @@ func main() {
 	fmt.Printf("advisor finished in %v: error=%.4f models=%d (%.1f%% of nodes) creation-cost=%.3fs\n",
 		time.Since(start).Round(time.Millisecond), cfg.Error(), cfg.NumModels(),
 		100*float64(cfg.NumModels())/float64(g.NumNodes()), cfg.CostSeconds)
+	if *sampleSize > 0 && !*exactMode {
+		fmt.Printf("sampled estimation: K=%d, mean relative sampling error bound %.4f\n", *sampleSize, lastBound)
+	}
 
 	cfg.Report().Fprint(os.Stdout)
 

@@ -44,13 +44,17 @@ import (
 )
 
 func main() {
-	dataset := flag.String("dataset", "tourism", "data set: tourism, sales, energy, gen1k, gen10k")
+	dataset := flag.String("dataset", "tourism", "data set: tourism, sales, energy, gen1k, gen10k, cubeN (synthetic cube with ~N nodes, e.g. cube100k)")
 	configPath := flag.String("config", "", "load a saved configuration instead of running the advisor")
 	dbPath := flag.String("db", "", "open a saved database snapshot (see \\save)")
 	csvPath := flag.String("csv", "", "load a fact-table CSV instead of a built-in data set")
 	dimSpec := flag.String("dims", "", "dimension spec for -csv, e.g. \"product;location=city<region\"")
 	period := flag.Int("period", 1, "seasonal period for -csv data")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus-format engine metrics on this address (e.g. :9090)")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -metrics listener")
+	sampleSize := flag.Int("sample-size", 0, "advisor: estimate indicators and derivations from this many sampled base series per node (0 = exact)")
+	exactMode := flag.Bool("exact", false, "advisor: force exact computation even when -sample-size is set")
+	lazy := flag.Bool("lazy", false, "build the cube with on-demand node materialization (large cubes)")
 	stripes := flag.Int("stripes", 0, "write stripes sharding the insert path (0 = near GOMAXPROCS, rounded to a power of two; negative = single stripe)")
 	parallelism := flag.Int("parallelism", 0, "worker pool size for off-lock model re-estimation (0 = GOMAXPROCS)")
 	eager := flag.Bool("eager-reestimate", false, "re-fit invalidated models right after the batch advance instead of lazily on first query")
@@ -94,7 +98,7 @@ func main() {
 	// Remote workload: the local side only needs the graph, to render the
 	// same SQL the daemon's data set understands.
 	if *remote != "" {
-		g, _, err := buildGraph(*dataset, *csvPath, *dimSpec, *period)
+		g, _, err := buildGraph(*dataset, *csvPath, *dimSpec, *period, *lazy)
 		if err != nil {
 			fail(err)
 		}
@@ -133,7 +137,7 @@ func main() {
 		fmt.Printf("opened %s: %d nodes, %d models\n", *dbPath, d.Graph().NumNodes(), d.Configuration().NumModels())
 		db, name = d, *dbPath
 	} else {
-		gg, gname, err := buildGraph(*dataset, *csvPath, *dimSpec, *period)
+		gg, gname, err := buildGraph(*dataset, *csvPath, *dimSpec, *period, *lazy)
 		if err != nil {
 			fail(err)
 		}
@@ -155,7 +159,7 @@ func main() {
 			fmt.Printf("loaded configuration: %d models\n", cfg.NumModels())
 		} else {
 			fmt.Print("running advisor ... ")
-			c, err := core.Run(g, core.Options{Seed: 42})
+			c, err := core.Run(g, core.Options{Seed: 42, SampleSize: *sampleSize, Exact: *exactMode})
 			if err != nil {
 				fail(err)
 			}
@@ -168,7 +172,10 @@ func main() {
 		}
 		db = d
 	}
-	serveMetrics(db, *metricsAddr)
+	if *pprofFlag && *metricsAddr == "" {
+		fail(fmt.Errorf("-pprof mounts on the metrics listener; set -metrics too"))
+	}
+	serveMetrics(db, *metricsAddr, *pprofFlag)
 	if *wlPoints > 0 {
 		if g == nil {
 			fail(fmt.Errorf("-workload needs a data set graph; it does not run against a -db snapshot"))
@@ -197,8 +204,8 @@ func main() {
 }
 
 // buildGraph constructs the data cube from a CSV fact table or a built-in
-// data set.
-func buildGraph(dataset, csvPath, dimSpec string, period int) (*cube.Graph, string, error) {
+// data set, eagerly or with on-demand node materialization (-lazy).
+func buildGraph(dataset, csvPath, dimSpec string, period int, lazy bool) (*cube.Graph, string, error) {
 	if csvPath != "" {
 		specs, err := csvload.ParseSpec(dimSpec)
 		if err != nil {
@@ -216,7 +223,11 @@ func buildGraph(dataset, csvPath, dimSpec string, period int) (*cube.Graph, stri
 		if cerr != nil {
 			return nil, "", cerr
 		}
-		g, err := cube.NewGraph(dims, base)
+		newGraph := cube.NewGraph
+		if lazy {
+			newGraph = cube.NewLazyGraph
+		}
+		g, err := newGraph(dims, base)
 		if err != nil {
 			return nil, "", err
 		}
@@ -226,7 +237,12 @@ func buildGraph(dataset, csvPath, dimSpec string, period int) (*cube.Graph, stri
 	if err != nil {
 		return nil, "", err
 	}
-	g, err := ds.Graph()
+	var g *cube.Graph
+	if lazy {
+		g, err = ds.LazyGraph()
+	} else {
+		g, err = ds.Graph()
+	}
 	if err != nil {
 		return nil, "", err
 	}
@@ -238,12 +254,15 @@ func buildGraph(dataset, csvPath, dimSpec string, period int) (*cube.Graph, stri
 // f2db.MountMetrics — the same helper f2dbd uses — so the endpoint cannot
 // drift between the two binaries. The endpoint is lock-free; it never
 // interferes with the interactive session.
-func serveMetrics(db *f2db.DB, addr string) {
+func serveMetrics(db *f2db.DB, addr string, withPprof bool) {
 	if addr == "" {
 		return
 	}
 	mux := http.NewServeMux()
 	f2db.MountMetrics(mux, db)
+	if withPprof {
+		f2db.MountPprof(mux)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fail(err)

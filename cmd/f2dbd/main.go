@@ -44,7 +44,8 @@ import (
 func main() {
 	addr := flag.String("addr", ":7071", "wire-protocol listen address")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus-format metrics on this address (e.g. :9090)")
-	dataset := flag.String("dataset", "tourism", "data set: tourism, sales, energy, gen1k, gen10k")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -metrics listener")
+	dataset := flag.String("dataset", "tourism", "data set: tourism, sales, energy, gen1k, gen10k, cubeN (synthetic cube with ~N nodes, e.g. cube100k)")
 	configPath := flag.String("config", "", "load a saved configuration instead of running the advisor")
 	dbPath := flag.String("db", "", "open a saved database snapshot instead of a data set")
 	savePath := flag.String("save", "", "save a database snapshot to this path after draining")
@@ -125,12 +126,18 @@ func main() {
 			name, db.Graph().NumNodes(), db.Configuration().NumModels(), ln.Addr())
 	}
 
+	if *pprofFlag && *metricsAddr == "" {
+		fail(fmt.Errorf("-pprof mounts on the metrics listener; set -metrics too"))
+	}
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		if co != nil {
 			f2db.MountCollectors(mux, metrics...)
 		} else {
 			f2db.MountMetrics(mux, db, srv.Metrics().Collector())
+		}
+		if *pprofFlag {
+			f2db.MountPprof(mux)
 		}
 		mln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {

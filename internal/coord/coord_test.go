@@ -441,7 +441,7 @@ func TestCoordinatorFailover(t *testing.T) {
 
 // querySQLFor renders a single-node forecast query for any graph node.
 func querySQLFor(g *cube.Graph, id int) string {
-	n := g.Nodes[id]
+	n := g.Node(id)
 	sql := "SELECT time, SUM(sales) FROM facts"
 	first := true
 	for d, cell := range n.Coord {

@@ -53,6 +53,18 @@ type Advisor struct {
 
 	rejected map[int]bool // nodes marked never to be selected again
 
+	// src is the sampling estimator in sampled mode (Options.SampleSize >
+	// 0): every series read — indicator histories, training series, test
+	// values, derivation weights — goes through it, so large aggregates
+	// are estimated from a reservoir of base series instead of
+	// materialized. nil in exact mode, where all reads take the exact
+	// code paths unchanged.
+	src *cube.SampledSource
+	// boundSum/boundN accumulate the relative sampling bound of every
+	// sampled scheme evaluation (Advisor.SampleBound).
+	boundSum float64
+	boundN   int
+
 	alpha   float64
 	gamma   float64
 	candCap int // adaptive bound on ranked candidates per iteration
@@ -121,6 +133,9 @@ func NewAdvisor(g *cube.Graph, opts Options) (*Advisor, error) {
 		rejected:  make(map[int]bool),
 		alpha:     opts.Alpha0,
 		rng:       rand.New(rand.NewSource(opts.Seed)),
+	}
+	if opts.SampleSize > 0 {
+		a.src = cube.NewSampledSource(g, cube.SampleConfig{K: opts.SampleSize, Seed: opts.Seed})
 	}
 	if a.opts.Indicator.HistoryLen <= 0 || a.opts.Indicator.HistoryLen > trainLen {
 		a.opts.Indicator.HistoryLen = trainLen
@@ -198,6 +213,52 @@ func (a *Advisor) Gamma() float64 { return a.gamma }
 // IndicatorSize returns the derived |I| (targets per local indicator).
 func (a *Advisor) IndicatorSize() int { return a.indK }
 
+// Sampled reports whether the advisor runs in sampled-estimation mode.
+func (a *Advisor) Sampled() bool { return a.src != nil }
+
+// SampleBound returns the mean relative sampling error bound across all
+// sampled scheme evaluations so far — the advisor's running estimate of how
+// far its sampled errors may sit from the exact ones. 0 in exact mode.
+func (a *Advisor) SampleBound() float64 {
+	if a.boundN == 0 {
+		return 0
+	}
+	return a.boundSum / float64(a.boundN)
+}
+
+// testValues returns the evaluation part of a node's series: exact in exact
+// mode, a reservoir estimate in sampled mode.
+func (a *Advisor) testValues(id int) []float64 {
+	if a.src == nil {
+		return a.cfg.testValues(id)
+	}
+	return a.src.NodeValues(id)[a.cfg.TrainLen:a.g.Length]
+}
+
+// fitNode fits the factory's model on the node's training series — the
+// exact series in exact mode, the reservoir estimate in sampled mode (the
+// fitted model then forecasts the estimated aggregate, which the sampling
+// bound accounts for).
+func (a *Advisor) fitNode(factory forecast.Factory, id int, extraDelay time.Duration) (forecast.Model, time.Duration, error) {
+	if a.src == nil {
+		return a.cfg.FitModel(factory, id, extraDelay)
+	}
+	vals := append([]float64(nil), a.src.NodeValues(id)[:a.cfg.TrainLen]...)
+	return a.cfg.FitModelOn(factory, timeseries.New(vals, a.g.Period), extraDelay)
+}
+
+// configError returns the mean configuration error. Exact mode delegates
+// to Configuration.Error (the historical O(N) scan, kept so exact runs
+// report bit-identical values); sampled mode answers in O(1) from the
+// running error sum the advisor maintains anyway — an O(N) scan per
+// iteration would defeat the sub-linear pipeline on large cubes.
+func (a *Advisor) configError() float64 {
+	if a.src == nil {
+		return a.cfg.Error()
+	}
+	return a.errSum / float64(a.g.NumNodes())
+}
+
 // currentErr returns the node's error under the current configuration,
 // counting uncovered nodes with the worst SMAPE.
 func (a *Advisor) currentErr(id int) float64 {
@@ -218,7 +279,7 @@ func (a *Advisor) setScheme(sc derivation.Scheme, err float64) {
 // fitWithFallback fits the configured model family, degrading to simpler
 // families when the training series is too short for the requested one.
 func (a *Advisor) fitWithFallback(id int) (forecast.Model, time.Duration, error) {
-	m, d, err := a.cfg.FitModel(a.warmed(a.opts.ModelFactory, id), id, a.opts.CreationDelay)
+	m, d, err := a.fitNode(a.warmed(a.opts.ModelFactory, id), id, a.opts.CreationDelay)
 	if err == nil {
 		return m, d, nil
 	}
@@ -229,7 +290,7 @@ func (a *Advisor) fitWithFallback(id int) (forecast.Model, time.Duration, error)
 	} {
 		var m2 forecast.Model
 		var d2 time.Duration
-		m2, d2, err = a.cfg.FitModel(a.warmed(fb, id), id, 0)
+		m2, d2, err = a.fitNode(a.warmed(fb, id), id, 0)
 		if err == nil {
 			return m2, d + d2, nil
 		}
@@ -310,24 +371,33 @@ func (a *Advisor) addModel(id int, m forecast.Model, dur time.Duration) {
 
 	// Direct scheme at the node itself.
 	direct := derivation.DirectScheme(id)
-	if e := timeseries.SMAPE(a.cfg.testValues(id), fc); !math.IsNaN(e) && e < a.currentErr(id) {
+	if e := timeseries.SMAPE(a.testValues(id), fc); !math.IsNaN(e) && e < a.currentErr(id) {
 		a.setScheme(direct, e)
 	} else if _, has := a.cfg.Schemes[id]; !has {
 		// A model node must always carry a scheme; keep the direct one
 		// even when derivation from elsewhere was better so far.
-		a.setScheme(direct, clampErr(timeseries.SMAPE(a.cfg.testValues(id), fc)))
+		a.setScheme(direct, clampErr(timeseries.SMAPE(a.testValues(id), fc)))
 	}
 
 	// Derivation schemes for every target the local indicator covers —
 	// and, for the very first model, for the entire graph so the initial
-	// configuration has a valid scheme everywhere.
-	targets := make([]int, 0, len(local.Values))
-	for t := range local.Values {
-		targets = append(targets, t)
-	}
+	// configuration has a valid scheme everywhere. Sampled mode skips the
+	// very first backfill entirely (full-graph or indicator-wide, it would
+	// evaluate — and on a lazy graph materialize — thousands of nodes
+	// before the advisor has refined anything); uncovered nodes resolve a
+	// scheme lazily at query time via Configuration.ResolveScheme, and
+	// later models backfill their indicator neighborhoods as usual.
+	var targets []int
 	if len(a.cfg.Models) == 1 {
-		targets = targets[:0]
-		for t := 0; t < a.g.NumNodes(); t++ {
+		if a.src == nil {
+			targets = make([]int, a.g.NumNodes())
+			for t := range targets {
+				targets[t] = t
+			}
+		}
+	} else {
+		targets = make([]int, 0, len(local.Values))
+		for t := range local.Values {
 			targets = append(targets, t)
 		}
 	}
@@ -344,11 +414,11 @@ func (a *Advisor) addModel(id int, m forecast.Model, dur time.Duration) {
 	// Aggregation check (Figure 3b): if this model completes a child
 	// hyper edge of one of its parents, evaluate the classical
 	// aggregation scheme for that parent.
-	for d, pid := range a.g.Nodes[id].ParentIDs {
+	for d, pid := range a.g.Node(id).ParentIDs {
 		if pid < 0 {
 			continue
 		}
-		edge := a.g.Nodes[pid].ChildEdges[d]
+		edge := a.g.Node(pid).ChildEdges[d]
 		complete := true
 		for _, c := range edge {
 			if _, ok := a.cfg.Models[c]; !ok {
@@ -374,8 +444,14 @@ func (a *Advisor) evalSingleSource(s, t int) (derivation.Scheme, float64, bool) 
 }
 
 // evalScheme evaluates the scheme sources → t on the test horizon. All
-// sources must have cached forecasts.
+// sources must have cached forecasts. In sampled mode the scheme is built
+// from a PPS sample of the sources (FlashP-style) and its error is
+// measured against the estimated test values; the scheme's relative
+// sampling bound feeds Advisor.SampleBound.
 func (a *Advisor) evalScheme(t int, sources []int) (derivation.Scheme, float64, bool) {
+	if a.src != nil {
+		return a.evalSchemeSampled(t, sources)
+	}
 	fcs := make([][]float64, len(sources))
 	for i, s := range sources {
 		fc, ok := a.modelFc[s]
@@ -395,10 +471,55 @@ func (a *Advisor) evalScheme(t int, sources []int) (derivation.Scheme, float64, 
 	return sc, clampErr(e), true
 }
 
+func (a *Advisor) evalSchemeSampled(t int, sources []int) (derivation.Scheme, float64, bool) {
+	for _, s := range sources {
+		if _, ok := a.modelFc[s]; !ok {
+			return derivation.Scheme{}, 0, false
+		}
+	}
+	sd, err := derivation.NewSampledScheme(a.src, a.g, t, sources, a.cfg.TrainLen, derivation.SampleOptions{
+		SampleSize: a.opts.SampleSize,
+		Confidence: a.opts.SampleConfidence,
+		Seed:       a.opts.Seed,
+	})
+	if err != nil {
+		return derivation.Scheme{}, 0, false
+	}
+	fcs := make([][]float64, len(sd.Scheme.Sources))
+	for i, s := range sd.Scheme.Sources {
+		fcs[i] = a.modelFc[s]
+	}
+	fc, lo, _, err := sd.ApplyWithBound(fcs)
+	if err != nil {
+		return derivation.Scheme{}, 0, false
+	}
+	e := timeseries.SMAPE(a.testValues(t), fc)
+	if math.IsNaN(e) {
+		return derivation.Scheme{}, 0, false
+	}
+	if !sd.Exact {
+		var num, den float64
+		for i := range fc {
+			num += fc[i] - lo[i]
+			den += math.Abs(fc[i])
+		}
+		if den > 0 {
+			a.boundSum += num / den
+			a.boundN++
+		}
+	}
+	return sd.Scheme, clampErr(e), true
+}
+
 // computeLocal builds the local indicator of a node over its |I| closest
-// graph neighbors.
+// graph neighbors. Sampled mode reads the histories through the reservoir
+// estimator, so scoring a candidate does not materialize its neighborhood's
+// aggregates.
 func (a *Advisor) computeLocal(id int) *indicator.Local {
 	targets := a.g.ClosestNodes(id, a.indK)
+	if a.src != nil {
+		return indicator.ComputeLocalFrom(a.src, id, targets, a.opts.Indicator)
+	}
 	return indicator.ComputeLocal(a.g, id, targets, a.opts.Indicator)
 }
 
@@ -431,7 +552,7 @@ func (a *Advisor) Step() (done bool, err error) {
 
 	// --- Phase 2: evaluation -----------------------------------------
 	evalStart := time.Now()
-	errBefore := a.cfg.Error()
+	errBefore := a.configError()
 	created, accepted, rejectedN := a.evaluate(ranked)
 	deleted := 0
 	if !a.opts.DisableDeletion {
@@ -447,7 +568,7 @@ func (a *Advisor) Step() (done bool, err error) {
 
 	// --- Phase 3: control --------------------------------------------
 	ctlStart := time.Now()
-	improvement := errBefore - a.cfg.Error()
+	improvement := errBefore - a.configError()
 	a.control(len(ranked), accepted, rejectedN, improvement)
 	if a.opts.AsyncMultiSource {
 		a.publishModelSnapshot()
@@ -459,11 +580,12 @@ func (a *Advisor) Step() (done bool, err error) {
 	a.met.iterations.Add(1)
 
 	// --- Phase 4: output ----------------------------------------------
-	snap.Error = a.cfg.Error()
+	snap.Error = a.configError()
 	snap.Models = a.cfg.NumModels()
 	snap.CostSeconds = a.cfg.CostSeconds
 	snap.SelectionTime = a.lastSelTime
 	snap.EvalTime = a.lastEvalTime
+	snap.SampleBound = a.SampleBound()
 	if a.opts.OnIteration != nil {
 		a.opts.OnIteration(snap)
 	}
@@ -628,7 +750,7 @@ func (a *Advisor) acceptModel(id int, m forecast.Model, dur time.Duration) bool 
 	// Candidate error sum: apply all improving schemes hypothetically.
 	a.modelFc[id] = fc // temporarily visible for evalScheme
 	newErrSum := a.errSum
-	if e := timeseries.SMAPE(a.cfg.testValues(id), fc); !math.IsNaN(e) {
+	if e := timeseries.SMAPE(a.testValues(id), fc); !math.IsNaN(e) {
 		if ce := clampErr(e); ce < a.currentErr(id) {
 			newErrSum += ce - a.currentErr(id)
 		}
@@ -797,7 +919,7 @@ func (a *Advisor) shouldStop(positives int) bool {
 	if a.opts.MaxIterations > 0 && a.iter >= a.opts.MaxIterations {
 		return true
 	}
-	if a.opts.TargetError > 0 && a.cfg.Error() <= a.opts.TargetError {
+	if a.opts.TargetError > 0 && a.configError() <= a.opts.TargetError {
 		return true
 	}
 	if a.opts.MaxModels > 0 && a.cfg.NumModels() >= a.opts.MaxModels {

@@ -82,12 +82,12 @@ func (c *Configuration) TestLen() int { return c.Graph.Length - c.TrainLen }
 
 // trainSeries returns the training part of a node's series.
 func (c *Configuration) trainSeries(id int) *timeseries.Series {
-	return c.Graph.Nodes[id].Series.Slice(0, c.TrainLen)
+	return c.Graph.Node(id).Series.Slice(0, c.TrainLen)
 }
 
 // testValues returns the evaluation part of a node's series.
 func (c *Configuration) testValues(id int) []float64 {
-	return c.Graph.Nodes[id].Series.Values[c.TrainLen:c.Graph.Length]
+	return c.Graph.Node(id).Series.Values[c.TrainLen:c.Graph.Length]
 }
 
 // FitModel fits a fresh model from factory on the training part of the
@@ -103,6 +103,21 @@ func (c *Configuration) FitModel(factory forecast.Factory, id int, extraDelay ti
 	m := factory(c.Graph.Period)
 	if err := m.Fit(c.trainSeries(id)); err != nil {
 		return nil, time.Since(start), fmt.Errorf("core: fitting %s at node %d: %w", m.Name(), id, err)
+	}
+	return m, time.Since(start), nil
+}
+
+// FitModelOn is FitModel over an explicit training series — the sampled
+// advisor's fit path, where the series is a reservoir estimate rather than
+// the node's materialized aggregate.
+func (c *Configuration) FitModelOn(factory forecast.Factory, s *timeseries.Series, extraDelay time.Duration) (forecast.Model, time.Duration, error) {
+	start := time.Now()
+	if extraDelay > 0 {
+		time.Sleep(extraDelay)
+	}
+	m := factory(c.Graph.Period)
+	if err := m.Fit(s); err != nil {
+		return nil, time.Since(start), fmt.Errorf("core: fitting %s: %w", m.Name(), err)
 	}
 	return m, time.Since(start), nil
 }
@@ -128,13 +143,51 @@ func (c *Configuration) ModelIDs() []int {
 	return ids
 }
 
+// ResolveScheme returns the node's derivation scheme, deriving and
+// backfilling one on demand when the node has none. Sampled advisor runs
+// skip the initial full-graph scheme backfill, so nodes the advisor never
+// touched reach their first query scheme-less; they are served by a
+// single-source scheme from the first configured model (in sorted model
+// order) that covers the node or is covered by it, falling back to the
+// first model. Exact advisor runs assign a scheme to every node up front,
+// so this never triggers there. Not safe for concurrent use — callers
+// serialize through the engine lock.
+func (c *Configuration) ResolveScheme(id int) (derivation.Scheme, error) {
+	if sc, ok := c.Schemes[id]; ok {
+		return sc, nil
+	}
+	if id < 0 || id >= c.Graph.NumNodes() {
+		return derivation.Scheme{}, fmt.Errorf("core: node %d has no derivation scheme", id)
+	}
+	ids := c.ModelIDs()
+	if len(ids) == 0 {
+		return derivation.Scheme{}, fmt.Errorf("core: node %d has no derivation scheme and no models exist", id)
+	}
+	src := ids[0]
+	t := c.Graph.Node(id)
+	for _, s := range ids {
+		n := c.Graph.Node(s)
+		if c.Graph.Covers(n, t) || c.Graph.Covers(t, n) {
+			src = s
+			break
+		}
+	}
+	sc, err := derivation.NewScheme(c.Graph, id, []int{src}, c.TrainLen)
+	if err != nil {
+		return derivation.Scheme{}, fmt.Errorf("core: resolving scheme for node %d: %w", id, err)
+	}
+	c.Schemes[id] = sc
+	return sc, nil
+}
+
 // Forecast answers a forecast query for the node over horizon h using the
 // assigned scheme and the live model states. It is the query-time
-// calculation of Section II-C (eq. 1).
+// calculation of Section II-C (eq. 1). Scheme-less nodes (possible after a
+// sampled advisor run) resolve one on demand.
 func (c *Configuration) Forecast(nodeID, h int) ([]float64, error) {
-	sc, ok := c.Schemes[nodeID]
-	if !ok {
-		return nil, fmt.Errorf("core: node %d has no derivation scheme", nodeID)
+	sc, err := c.ResolveScheme(nodeID)
+	if err != nil {
+		return nil, err
 	}
 	fcs := make([][]float64, len(sc.Sources))
 	for i, s := range sc.Sources {

@@ -61,6 +61,26 @@ func (a *Advisor) control(candidates, accepted, rejected int, improvement float6
 	if raise {
 		a.alpha += a.opts.AlphaStep
 		a.rejectsSinceAlpha = 0
+		a.evictRejected()
+	}
+}
+
+// evictRejected drops cached state of permanently rejected nodes when the α
+// schedule moves on. Rejected nodes are never re-selected (preselect skips
+// them), so their cached local indicators and warm seeds are dead weight —
+// without eviction candLoc and warmSeeds grow monotonically over a long
+// anytime run. Model nodes never appear in rejected, so accepted state is
+// untouched and advisor output is unchanged.
+func (a *Advisor) evictRejected() {
+	for id := range a.candLoc {
+		if a.rejected[id] {
+			delete(a.candLoc, id)
+		}
+	}
+	for k := range a.warmSeeds {
+		if a.rejected[k.node] {
+			delete(a.warmSeeds, k)
+		}
 	}
 }
 

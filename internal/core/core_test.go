@@ -72,7 +72,7 @@ func TestConfigurationValidate(t *testing.T) {
 	delete(cfg.Schemes, 0)
 	// Model without scheme must fail.
 	m := forecast.NewNaive()
-	if err := m.Fit(g.Nodes[0].Series); err != nil {
+	if err := m.Fit(g.Node(0).Series); err != nil {
 		t.Fatal(err)
 	}
 	cfg.Models[0] = m
@@ -140,7 +140,7 @@ func TestAdvisorInitialConfigurationIsComplete(t *testing.T) {
 	if _, ok := cfg.Models[g.TopID]; !ok {
 		t.Fatal("initial model must be at the top node (Figure 4a)")
 	}
-	for id := range g.Nodes {
+	for id := 0; id < g.NumNodes(); id++ {
 		if _, ok := cfg.Schemes[id]; !ok {
 			t.Fatalf("node %d lacks an initial scheme", id)
 		}

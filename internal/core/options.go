@@ -101,6 +101,24 @@ type Options struct {
 	MaxModels      int     // stop once the configuration holds this many models
 	MaxCostSeconds float64 // stop once accumulated creation time exceeds this
 
+	// SampleSize, when > 0, switches the advisor to sampled estimation
+	// (FlashP-style): node series and indicator histories are estimated
+	// from a deterministic reservoir of SampleSize covered base series per
+	// node, multi-source derivation schemes are built from a PPS sample of
+	// SampleSize sources with a confidence bound, and the initial
+	// full-graph scheme backfill is skipped (uncovered nodes resolve
+	// schemes lazily, Configuration.ResolveScheme). Combined with a lazy
+	// graph (cube.NewLazyGraph) the advisor touches a sub-linear share of
+	// the cube. 0 computes everything exactly — bit-identical to the
+	// pre-sampling advisor.
+	SampleSize int
+	// Exact forces exact computation even when SampleSize is set (CLI
+	// plumbing: a -sample-size default can be overridden by -exact).
+	Exact bool
+	// SampleConfidence is the coverage level of the sampling error bounds
+	// reported in sampled mode (default 0.95).
+	SampleConfidence float64
+
 	// OnIteration, when set, receives a snapshot after every iteration —
 	// the advisor "continuously outputs the forecast error as well as
 	// the model costs of the current best configuration" (Section IV-D).
@@ -127,6 +145,9 @@ type Snapshot struct {
 	Deleted       int
 	SelectionTime time.Duration
 	EvalTime      time.Duration
+	// SampleBound is the mean relative sampling error bound accumulated so
+	// far (0 in exact mode).
+	SampleBound float64
 }
 
 // withDefaults fills unset options.
@@ -163,6 +184,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MultiSourceProbes == 0 {
 		o.MultiSourceProbes = 2 * o.Parallelism
+	}
+	if o.Exact {
+		o.SampleSize = 0
+	}
+	if o.SampleConfidence <= 0 || o.SampleConfidence >= 1 {
+		o.SampleConfidence = 0.95
 	}
 	if o.Context == nil {
 		o.Context = context.Background()

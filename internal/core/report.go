@@ -45,7 +45,8 @@ func (c *Configuration) Report() Report {
 		errSum        float64
 	}
 	byDepth := make(map[int]*acc)
-	for id, n := range c.Graph.Nodes {
+	for id := 0; id < c.Graph.NumNodes(); id++ {
+		n := c.Graph.Node(id)
 		a := byDepth[n.Depth]
 		if a == nil {
 			a = &acc{}

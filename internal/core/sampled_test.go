@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+
+	"cubefc/internal/datasets"
+)
+
+// sampledTestCube builds a moderately sized multi-dimensional lazy cube.
+func sampledTestCube(t *testing.T) *datasets.Dataset {
+	t.Helper()
+	return datasets.GenCube(3, datasets.CubeGenOptions{
+		DimCards: [][]int{{24, 5}, {8, 2}},
+		Length:   36,
+		Period:   4,
+	})
+}
+
+func TestSampledAdvisorOnLazyCube(t *testing.T) {
+	d := sampledTestCube(t)
+	g, err := d.LazyGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Run(g, Options{
+		Seed: 42,
+		// Small reservoir and a tight indicator budget so the advisor's
+		// touch set stays a strict subset of this (deliberately small)
+		// cube; production-scale runs use the defaults.
+		SampleSize:       8,
+		IndicatorEntries: 2_000,
+		MaxIterations:    6,
+		Parallelism:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumModels() < 1 {
+		t.Fatal("sampled advisor produced no models")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("sampled configuration invalid: %v", err)
+	}
+	// The whole point: the advisor must not have materialized the full
+	// cube.
+	if g.MaterializedNodes() >= g.NumNodes() {
+		t.Fatalf("sampled+lazy advisor materialized all %d nodes", g.NumNodes())
+	}
+	// Every node answers a forecast query, resolving schemes on demand.
+	for _, id := range []int{0, g.TopID, g.NumNodes() - 1} {
+		if _, err := cfg.Forecast(id, 2); err != nil {
+			t.Fatalf("Forecast(%d): %v", id, err)
+		}
+	}
+}
+
+func TestSampledModeIsDeterministic(t *testing.T) {
+	d := sampledTestCube(t)
+	run := func() map[int]string {
+		g, err := d.LazyGraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := Run(g, Options{
+			Seed:       7,
+			SampleSize: 16,
+			// Pin the selection net: the γ feedback follows measured
+			// phase times, which would make run-to-run comparison
+			// timing-dependent.
+			FixedGamma:    true,
+			Gamma0:        0.5,
+			MaxIterations: 4,
+			Parallelism:   2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[int]string, len(cfg.Models))
+		for id, m := range cfg.Models {
+			out[id] = m.Name()
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("model counts differ across runs: %d vs %d", len(a), len(b))
+	}
+	for id, name := range a {
+		if b[id] != name {
+			t.Fatalf("model at node %d differs across runs: %s vs %s", id, name, b[id])
+		}
+	}
+}
+
+func TestExactOptionDisablesSampling(t *testing.T) {
+	opts := Options{SampleSize: 16, Exact: true}.withDefaults()
+	if opts.SampleSize != 0 {
+		t.Fatal("Exact must zero SampleSize")
+	}
+	g := seasonalCube(t, 1)
+	a, err := NewAdvisor(g, Options{SampleSize: 16, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.Sampled() {
+		t.Fatal("advisor must be exact with Exact set")
+	}
+	if a.SampleBound() != 0 {
+		t.Fatal("exact advisor must report a zero sample bound")
+	}
+}
+
+// TestAdvisorCachesBounded is the regression test for the candLoc/modelFc
+// growth bug: over a long anytime run the candidate-local cache must not
+// retain entries for permanently rejected nodes once the α schedule moved
+// past them, and the forecast cache must track the model set exactly.
+func TestAdvisorCachesBounded(t *testing.T) {
+	g := seasonalCube(t, 2)
+	a, err := NewAdvisor(g, Options{Seed: 1, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for i := 0; i < 500; i++ {
+		done, err := a.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	if len(a.modelFc) != a.cfg.NumModels() {
+		t.Fatalf("modelFc holds %d forecasts for %d models", len(a.modelFc), a.cfg.NumModels())
+	}
+	// Termination goes through an α raise, which evicts rejected nodes.
+	for id := range a.candLoc {
+		if a.rejected[id] {
+			t.Fatalf("candLoc retains rejected node %d after α moved on", id)
+		}
+	}
+	for k := range a.warmSeeds {
+		if a.rejected[k.node] {
+			t.Fatalf("warmSeeds retains rejected node %d after α moved on", k.node)
+		}
+	}
+	// Caches must stay within the graph size even after hundreds of
+	// iterations (the unbounded-growth failure mode accumulated one local
+	// indicator per candidate per iteration).
+	if len(a.candLoc) > g.NumNodes() {
+		t.Fatalf("candLoc grew to %d entries on a %d-node graph", len(a.candLoc), g.NumNodes())
+	}
+}
+
+func TestResolveSchemeBackfill(t *testing.T) {
+	g := seasonalCube(t, 3)
+	cfg, err := Run(g, Options{Seed: 1, MaxIterations: 2, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop a scheme to simulate a sampled run's uncovered node, then
+	// resolve it back.
+	victim := -1
+	for id := range cfg.Schemes {
+		if _, hasModel := cfg.Models[id]; !hasModel {
+			victim = id
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no derived-only node in configuration")
+	}
+	delete(cfg.Schemes, victim)
+	sc, err := cfg.ResolveScheme(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Target != victim || len(sc.Sources) == 0 {
+		t.Fatalf("resolved scheme malformed: %+v", sc)
+	}
+	if _, ok := cfg.Schemes[victim]; !ok {
+		t.Fatal("ResolveScheme must backfill the configuration")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,23 @@
+package cube_test
+
+import (
+	"testing"
+
+	"cubefc/internal/datasets"
+)
+
+// BenchmarkLazyConstruct isolates lazy graph construction at the 10^5-node
+// scale: skeleton enumeration (packed codes, incidence CSR, parent table)
+// plus base-node materialization, without any advisor work on top. It is
+// the dominant cost of the sampled-lazy pipeline's time-to-first-answer,
+// so regressions here show up directly in BenchmarkAdvisorScale.
+func BenchmarkLazyConstruct(b *testing.B) {
+	opts := datasets.CubeGenForNodes(100_000, 2)
+	d := datasets.GenCube(1, opts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.LazyGraph(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

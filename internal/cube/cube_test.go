@@ -134,7 +134,8 @@ func TestGraphEncodesFunctionalDependency(t *testing.T) {
 	// "C1*P2" is not an aggregation possibility: a coordinate holds one
 	// cell per dimension, so city-level plus region-ALL cannot coexist —
 	// the location dimension is either at city, region, or ALL level.
-	for _, n := range g.Nodes {
+	for nid := 0; nid < g.NumNodes(); nid++ {
+		n := g.Node(nid)
 		if len(n.Coord) != 2 {
 			t.Fatal("coordinate arity broken")
 		}
@@ -173,7 +174,7 @@ func TestTopIsTotalSum(t *testing.T) {
 	top := g.Top()
 	var want float64
 	for _, id := range g.BaseIDs {
-		want += g.Nodes[id].Series.Sum()
+		want += g.Node(id).Series.Sum()
 	}
 	if math.Abs(top.Series.Sum()-want) > 1e-9 {
 		t.Fatalf("top sum = %v, want %v", top.Series.Sum(), want)
@@ -216,7 +217,7 @@ func TestOneSeriesContributesToSeveralAggregates(t *testing.T) {
 func TestCovers(t *testing.T) {
 	g := fig1Graph(t)
 	top := g.Top()
-	base := g.Nodes[g.BaseIDs[0]]
+	base := g.Node(g.BaseIDs[0])
 	if !g.Covers(top, base) {
 		t.Error("top must cover every base node")
 	}
@@ -261,7 +262,7 @@ func TestClosestNodes(t *testing.T) {
 	}
 	// First neighbors must be the node's direct parents.
 	wantParents := map[int]bool{}
-	for _, p := range g.Nodes[base].ParentIDs {
+	for _, p := range g.Node(base).ParentIDs {
 		if p >= 0 {
 			wantParents[p] = true
 		}
@@ -350,8 +351,8 @@ func TestGraphDeterministicIDs(t *testing.T) {
 	if a.NumNodes() != b.NumNodes() || a.TopID != b.TopID {
 		t.Fatal("graph construction not deterministic")
 	}
-	for i := range a.Nodes {
-		if a.Nodes[i].Key(a.Dims) != b.Nodes[i].Key(b.Dims) {
+	for i := 0; i < a.NumNodes(); i++ {
+		if a.Node(i).Key(a.Dims) != b.Node(i).Key(b.Dims) {
 			t.Fatalf("node %d key differs", i)
 		}
 	}
@@ -361,7 +362,8 @@ func TestAggregateInvariantProperty(t *testing.T) {
 	// Property: for every non-base node, its series equals the sum of the
 	// series of any one child hyper edge.
 	g := fig1Graph(t)
-	for _, n := range g.Nodes {
+	for nid := 0; nid < g.NumNodes(); nid++ {
+		n := g.Node(nid)
 		if n.IsBase {
 			continue
 		}
@@ -372,7 +374,7 @@ func TestAggregateInvariantProperty(t *testing.T) {
 		for i := range n.Series.Values {
 			var sum float64
 			for _, c := range children {
-				sum += g.Nodes[c].Series.Values[i]
+				sum += g.Node(c).Series.Values[i]
 			}
 			if math.Abs(sum-n.Series.Values[i]) > 1e-9 {
 				t.Fatalf("node %s: aggregate mismatch at t=%d", n.Key(g.Dims), i)
@@ -387,7 +389,7 @@ func TestDepths(t *testing.T) {
 		t.Fatalf("top depth = %d, want 3", g.Top().Depth)
 	}
 	for _, id := range g.BaseIDs {
-		if g.Nodes[id].Depth != 0 || !g.Nodes[id].IsBase {
+		if g.Node(id).Depth != 0 || !g.Node(id).IsBase {
 			t.Fatal("base depth broken")
 		}
 	}
@@ -460,7 +462,7 @@ func TestThreeLevelHierarchy(t *testing.T) {
 		t.Fatalf("DE children = %v, want the 2 cities", children)
 	}
 	for _, c := range children {
-		if g.Nodes[c].Coord[0].Level != 1 {
+		if g.Node(c).Coord[0].Level != 1 {
 			t.Fatal("DE children must be city-level nodes")
 		}
 	}
@@ -471,7 +473,7 @@ func TestThreeLevelHierarchy(t *testing.T) {
 	// Aggregation correctness across two hops.
 	var want float64
 	for _, bid := range g.SummingVector(de) {
-		want += g.Nodes[bid].Series.Values[5]
+		want += g.Node(bid).Series.Values[5]
 	}
 	if math.Abs(de.Series.Values[5]-want) > 1e-9 {
 		t.Fatal("country aggregate wrong")

@@ -3,6 +3,8 @@ package cube
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"cubefc/internal/timeseries"
 )
@@ -45,9 +47,18 @@ type BaseSeries struct {
 // complete (contains all aggregation possibilities of the instance),
 // a series can contribute to several aggregates, and functional
 // dependencies are encoded through the dimension hierarchies.
+//
+// A graph is built in one of two modes. NewGraph materializes every node
+// (series, parent links, child hyper edges) up front. NewLazyGraph runs
+// the same deterministic enumeration but materializes only the base
+// nodes; aggregate nodes are built on first access through Node (or any
+// accessor that resolves a node). Node IDs, coordinate keys, edge order
+// and aggregate series contents are identical between the two modes — the
+// lazy skeleton records, per node, the covered base nodes in ascending
+// base-ID order, which is exactly the accumulation order of the eager
+// construction, so aggregation sums are bit-for-bit reproducible.
 type Graph struct {
-	Dims  []Dimension
-	Nodes []*Node
+	Dims []Dimension
 	// TopID is the node aggregating over all dimensions; BaseIDs are the
 	// finest-level nodes in enumeration order.
 	TopID   int
@@ -55,40 +66,169 @@ type Graph struct {
 	Period  int
 	Length  int // number of observations in every node series
 
-	index map[string]int // coordinate key -> node ID
+	// nodes holds one atomically published slot per node ID. In eager
+	// mode every slot is filled at construction; in lazy mode aggregate
+	// slots start nil and are filled under matMu on first access.
+	nodes []atomic.Pointer[Node]
+
+	// index maps coordinate keys to node IDs. Eager graphs fill it at
+	// construction; lazy graphs build it on first key lookup (the numeric
+	// skeleton construction never needs string keys).
+	index   map[string]int
+	idxOnce sync.Once
 
 	// coverCache memoizes the ancestor closure of base nodes, the hot
-	// path of Advance (one lookup per base series per insert batch).
+	// path of the eager Advance (one lookup per base series per insert
+	// batch).
 	coverCache map[int][]int
+
+	// Lazy-mode skeleton, immutable after construction: the coordinate
+	// and the covered base-node IDs (ascending, in CSR form — node id
+	// covers incIDs[incOff[id]:incOff[id+1]]) of every node, plus the
+	// flattened per-dimension parent IDs (parents[id*D+d], -1 at ALL).
+	lazy    bool
+	coords  []Coord
+	incOff  []int32
+	incIDs  []int32
+	parents []int32
+
+	// childIdx is the CSR inversion of parents, built once on first child
+	// edge derivation: the edge of (node p, dim d) is
+	// childIDs[childOff[p*D+d]:childOff[p*D+d+1]], ascending.
+	childOnce sync.Once
+	childOff  []int32
+	childIDs  []int32
+
+	// matMu serializes lazy materialization and the lazy Advance (which
+	// must see a consistent set of materialized series); matIDs lists the
+	// materialized node IDs, matCount mirrors len(matIDs) for lock-free
+	// metrics reads.
+	matMu    sync.Mutex
+	matIDs   []int
+	matCount atomic.Int64
+
+	// incAll caches, for eager graphs, the per-node covered-base lists on
+	// first CoveredBases/CoveredBaseCall call (lazy graphs read the
+	// skeleton directly).
+	incOnce sync.Once
+	incAll  [][]int
+
+	// adj caches, for lazy graphs, the structural adjacency of
+	// not-yet-materialized nodes (Neighbors derives it from the skeleton;
+	// BFS-heavy callers like the advisor's indicator construction revisit
+	// nodes constantly).
+	adjMu sync.Mutex
+	adj   map[int][]int
 }
 
 // NumNodes returns the total number of nodes in the graph.
-func (g *Graph) NumNodes() int { return len(g.Nodes) }
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// Lazy reports whether the graph materializes aggregate nodes on demand.
+func (g *Graph) Lazy() bool { return g.lazy }
+
+// MaterializedNodes returns how many nodes currently exist as full Node
+// structures. Eager graphs always report NumNodes().
+func (g *Graph) MaterializedNodes() int {
+	if !g.lazy {
+		return len(g.nodes)
+	}
+	return int(g.matCount.Load())
+}
+
+// Node resolves a node ID to its node, materializing it first when the
+// graph is lazy. It is safe for concurrent use.
+func (g *Graph) Node(id int) *Node {
+	if n := g.nodes[id].Load(); n != nil {
+		return n
+	}
+	return g.materialize(id)
+}
+
+// IsBase reports whether the node ID is a base (finest-level) node without
+// materializing it.
+func (g *Graph) IsBase(id int) bool {
+	if id < 0 || id >= len(g.nodes) {
+		return false
+	}
+	if g.lazy {
+		for _, c := range g.coords[id] {
+			if c.Level != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	return g.nodes[id].Load().IsBase
+}
+
+// CoordOf returns the coordinate of the node ID without materializing it.
+// The returned coordinate must not be mutated.
+func (g *Graph) CoordOf(id int) Coord {
+	if g.lazy {
+		return g.coords[id]
+	}
+	return g.nodes[id].Load().Coord
+}
+
+// KeyOf returns the canonical coordinate key of the node ID without
+// materializing it.
+func (g *Graph) KeyOf(id int) string {
+	if g.lazy {
+		return g.coords[id].Key(g.Dims)
+	}
+	return g.nodes[id].Load().Coord.Key(g.Dims)
+}
+
+// keyIndex returns the coordinate-key index, building it on first use for
+// lazy graphs (whose construction is purely numeric and never renders
+// string keys).
+func (g *Graph) keyIndex() map[string]int {
+	g.idxOnce.Do(func() {
+		if g.index != nil {
+			return
+		}
+		idx := make(map[string]int, len(g.coords))
+		for id, c := range g.coords {
+			idx[c.Key(g.Dims)] = id
+		}
+		g.index = idx
+	})
+	return g.index
+}
 
 // Lookup resolves a coordinate to its node, or nil if absent.
 func (g *Graph) Lookup(coord Coord) *Node {
-	id, ok := g.index[coord.Key(g.Dims)]
+	id, ok := g.keyIndex()[coord.Key(g.Dims)]
 	if !ok {
 		return nil
 	}
-	return g.Nodes[id]
+	return g.Node(id)
 }
 
 // LookupKey resolves a canonical key to its node, or nil if absent.
 func (g *Graph) LookupKey(key string) *Node {
-	id, ok := g.index[key]
+	id, ok := g.keyIndex()[key]
 	if !ok {
 		return nil
 	}
-	return g.Nodes[id]
+	return g.Node(id)
+}
+
+// LookupID resolves a canonical key to its node ID without materializing
+// the node; the second result reports whether the key exists.
+func (g *Graph) LookupID(key string) (int, bool) {
+	id, ok := g.keyIndex()[key]
+	return id, ok
 }
 
 // Top returns the all-ALL node.
-func (g *Graph) Top() *Node { return g.Nodes[g.TopID] }
+func (g *Graph) Top() *Node { return g.Node(g.TopID) }
 
 // NewGraph builds the complete hyper graph for the given dimensions and
-// base series. All base series must have equal length and the same period.
-// Aggregated series are computed with SUM (Section II-A).
+// base series, materializing every node up front. All base series must
+// have equal length and the same period. Aggregated series are computed
+// with SUM (Section II-A).
 func NewGraph(dims []Dimension, base []BaseSeries) (*Graph, error) {
 	if len(base) == 0 {
 		return nil, fmt.Errorf("cube: graph requires at least one base series")
@@ -105,6 +245,7 @@ func NewGraph(dims []Dimension, base []BaseSeries) (*Graph, error) {
 	}
 
 	g := &Graph{Dims: dims, Period: period, Length: length, index: make(map[string]int)}
+	var all []*Node
 
 	// ancestorCoords enumerates every coordinate covering a base entry:
 	// the Cartesian product over dimensions of all ancestor cells.
@@ -112,7 +253,7 @@ func NewGraph(dims []Dimension, base []BaseSeries) (*Graph, error) {
 	getNode := func(coord Coord) (*Node, error) {
 		key := coord.Key(dims)
 		if id, ok := g.index[key]; ok {
-			return g.Nodes[id], nil
+			return all[id], nil
 		}
 		depth := 0
 		isBase := true
@@ -123,7 +264,7 @@ func NewGraph(dims []Dimension, base []BaseSeries) (*Graph, error) {
 			}
 		}
 		n := &Node{
-			ID:         len(g.Nodes),
+			ID:         len(all),
 			Coord:      append(Coord(nil), coord...),
 			Series:     timeseries.New(make([]float64, length), period),
 			ChildEdges: make([][]int, len(dims)),
@@ -134,7 +275,7 @@ func NewGraph(dims []Dimension, base []BaseSeries) (*Graph, error) {
 		for i := range n.ParentIDs {
 			n.ParentIDs[i] = -1
 		}
-		g.Nodes = append(g.Nodes, n)
+		all = append(all, n)
 		g.index[key] = n.ID
 		return n, nil
 	}
@@ -186,7 +327,7 @@ func NewGraph(dims []Dimension, base []BaseSeries) (*Graph, error) {
 
 	// Wire parent/child hyper edges: roll each node up one level per
 	// dimension and register it under that parent.
-	for _, n := range g.Nodes {
+	for _, n := range all {
 		if n.IsBase {
 			g.BaseIDs = append(g.BaseIDs, n.ID)
 		}
@@ -207,14 +348,14 @@ func NewGraph(dims []Dimension, base []BaseSeries) (*Graph, error) {
 				return nil, fmt.Errorf("cube: internal error: missing parent node %s", pc.Key(dims))
 			}
 			n.ParentIDs[d] = pid
-			parent := g.Nodes[pid]
+			parent := all[pid]
 			parent.ChildEdges[d] = append(parent.ChildEdges[d], n.ID)
 		}
 	}
 
 	// Keep edges and base IDs in deterministic order.
 	sort.Ints(g.BaseIDs)
-	for _, n := range g.Nodes {
+	for _, n := range all {
 		for d := range n.ChildEdges {
 			sort.Ints(n.ChildEdges[d])
 		}
@@ -229,7 +370,603 @@ func NewGraph(dims []Dimension, base []BaseSeries) (*Graph, error) {
 		return nil, fmt.Errorf("cube: internal error: missing top node")
 	}
 	g.TopID = tid
+	g.nodes = make([]atomic.Pointer[Node], len(all))
+	for i, n := range all {
+		g.nodes[i].Store(n)
+	}
 	return g, nil
+}
+
+// NewLazyGraph builds the hyper graph in lazy mode: it enumerates every
+// coordinate exactly as NewGraph does — so node IDs, keys and edge order
+// are identical — but materializes only the base nodes. Aggregate nodes
+// (series, edges, parents) are built on first access and their series sum
+// the covered base series in the same order the eager construction
+// accumulates them, keeping the two modes bit-identical.
+//
+// Unlike NewGraph, duplicate base coordinates are rejected: merging them
+// lazily would change the floating-point accumulation order.
+func NewLazyGraph(dims []Dimension, base []BaseSeries) (*Graph, error) {
+	if len(base) == 0 {
+		return nil, fmt.Errorf("cube: graph requires at least one base series")
+	}
+	length := base[0].Series.Len()
+	period := base[0].Series.Period
+	for i, b := range base {
+		if len(b.Members) != len(dims) {
+			return nil, fmt.Errorf("cube: base series %d has %d members, want %d", i, len(b.Members), len(dims))
+		}
+		if b.Series.Len() != length {
+			return nil, fmt.Errorf("cube: base series %d has length %d, want %d", i, b.Series.Len(), length)
+		}
+	}
+
+	g := &Graph{
+		Dims:   dims,
+		Period: period,
+		Length: length,
+		lazy:   true,
+	}
+
+	var baseNodeIDs []int // per input entry, in slice order
+	var err error
+	if len(dims) <= maxPackedDims {
+		baseNodeIDs, err = g.buildSkeletonPacked(base)
+		if err == errPackedOverflow {
+			baseNodeIDs, err = g.buildSkeletonKeys(base)
+		}
+	} else {
+		baseNodeIDs, err = g.buildSkeletonKeys(base)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sort.Ints(g.BaseIDs)
+
+	// Materialize the base nodes. Their series share the input backing
+	// arrays, capped with a full slice expression: base values are never
+	// mutated in place (the only writer is Append, which reallocates at
+	// cap), so sharing is safe and skips copying every base series.
+	// Remaining allocations are batched across all bases.
+	g.nodes = make([]atomic.Pointer[Node], len(g.coords))
+	g.matIDs = make([]int, 0, len(base))
+	D := len(dims)
+	nodeArr := make([]Node, len(base))
+	seriesArr := make([]timeseries.Series, len(base))
+	edgesArr := make([][]int, len(base)*D)
+	pidsArr := make([]int, len(base)*D)
+	for i, b := range base {
+		id := baseNodeIDs[i]
+		vals := b.Series.Values[:length:length]
+		pids := pidsArr[i*D : (i+1)*D : (i+1)*D]
+		for d := 0; d < D; d++ {
+			pids[d] = int(g.parents[id*D+d])
+		}
+		seriesArr[i] = timeseries.Series{Values: vals, Period: period}
+		n := &nodeArr[i]
+		*n = Node{
+			ID:         id,
+			Coord:      g.coords[id],
+			Series:     &seriesArr[i],
+			ChildEdges: edgesArr[i*D : (i+1)*D : (i+1)*D],
+			ParentIDs:  pids,
+			IsBase:     true,
+			Depth:      0,
+		}
+		g.nodes[id].Store(n)
+		g.matIDs = append(g.matIDs, id)
+	}
+	sort.Ints(g.matIDs)
+	g.matCount.Store(int64(len(g.matIDs)))
+	return g, nil
+}
+
+// maxPackedDims bounds the packed-key skeleton construction: coordinate
+// identity is encoded as one uint64 with 16 bits per dimension.
+const maxPackedDims = 4
+
+// errPackedOverflow signals that a dimension exceeded 2^16 distinct cells
+// and the construction must restart on the string-keyed path.
+var errPackedOverflow = fmt.Errorf("cube: packed skeleton overflow")
+
+// buildSkeletonPacked runs the lazy skeleton enumeration with purely
+// numeric coordinate identities: every distinct (level, value) cell of a
+// dimension gets a compact code, each base member's ancestor chain of
+// codes is memoized, and a coordinate is identified either by its index in
+// the dense cell-code space (a direct-address table, when that space is
+// small enough) or by packing its cell codes 16 bits each into one uint64
+// (a hash map). The enumeration order — and therefore every node ID — is
+// identical to the string-keyed path and to the eager construction; only
+// the dedup key representation differs. It also records, per visited
+// lattice, the flattened per-dimension parent IDs, which is pure integer
+// arithmetic here (a coordinate's parent along dimension d is the tuple
+// one chain position up in the same base lattice).
+func (g *Graph) buildSkeletonPacked(base []BaseSeries) ([]int, error) {
+	D := len(g.Dims)
+	type dimState struct {
+		cells  []Cell             // code -> cell
+		code   map[Cell]int32     // cell -> code
+		chains map[string][]int32 // finest member -> ancestor chain codes
+	}
+	ds := make([]dimState, D)
+	for d := range ds {
+		ds[d].code = make(map[Cell]int32)
+		ds[d].chains = make(map[string][]int32)
+	}
+
+	// Phase 1: memoized ancestor-chain codes per distinct member. This
+	// fixes each dimension's cell universe before any enumeration, so the
+	// key representation can be chosen up front.
+	baseChains := make([][]int32, len(base)*D)
+	for i, b := range base {
+		for d := range g.Dims {
+			st := &ds[d]
+			member := b.Members[d]
+			ch, ok := st.chains[member]
+			if !ok {
+				dim := &g.Dims[d]
+				ch = make([]int32, 0, dim.AllLevel()+1)
+				for lvl := 0; lvl <= dim.AllLevel(); lvl++ {
+					v, err := dim.Ancestor(member, 0, lvl)
+					if err != nil {
+						return nil, err
+					}
+					cell := Cell{Level: lvl, Value: v}
+					c, okc := st.code[cell]
+					if !okc {
+						c = int32(len(st.cells))
+						st.code[cell] = c
+						st.cells = append(st.cells, cell)
+					}
+					ch = append(ch, c)
+				}
+				st.chains[member] = ch
+			}
+			baseChains[i*D+d] = ch
+		}
+	}
+
+	// denseCap bounds the direct-address table (entries, i.e. 4 bytes
+	// each): beyond it fall back to the hash map over 16-bit-packed codes.
+	const denseCap = 1 << 22
+	prod := 1
+	dense := true
+	for d := range ds {
+		c := len(ds[d].cells)
+		if c == 0 {
+			c = 1
+		}
+		if prod > denseCap/c {
+			dense = false
+			break
+		}
+		prod *= c
+	}
+	// Pair and tuple counts are known exactly from the chains, so the hot
+	// loop below never grows a slice.
+	totalPairs, maxTuples := 0, 0
+	for i := range base {
+		n := 1
+		for d := 0; d < D; d++ {
+			n *= len(baseChains[i*D+d])
+		}
+		totalPairs += n
+		if n > maxTuples {
+			maxTuples = n
+		}
+	}
+
+	var table []int32 // stores id+1; 0 means empty, so no init pass
+	var byKey map[uint64]int32
+	var keyStride [maxPackedDims]uint64
+	if dense {
+		table = make([]int32, prod)
+		s := uint64(1)
+		for d := D - 1; d >= 0; d-- {
+			keyStride[d] = s
+			s *= uint64(len(ds[d].cells))
+		}
+	} else {
+		for d := range ds {
+			if len(ds[d].cells) > 1<<16 {
+				return nil, errPackedOverflow
+			}
+		}
+		byKey = make(map[uint64]int32, len(base)*2)
+	}
+
+	// The enumeration collects pointer-free flat arrays only — cell codes
+	// per new node and (covering node, covered base) pairs — and builds
+	// the coordinate table and incidence CSR in one pass afterwards,
+	// keeping allocation churn and GC scan work out of the hot loop.
+	chains := make([][]int32, D)
+	sel := make([]int32, D)
+	var codesArr []int32
+	pairNode := make([]int32, 0, totalPairs)
+	pairBase := make([]int32, 0, totalPairs)
+	var numNodes int32
+	tupleIDs := make([]int32, 0, maxTuples)
+	var bid int32
+	var dup bool
+	touch := func(key uint64) {
+		var id int32
+		var ok bool
+		if dense {
+			id = table[key] - 1
+			ok = id >= 0
+		} else {
+			id, ok = byKey[key]
+		}
+		if !ok {
+			id = numNodes
+			numNodes++
+			if dense {
+				table[key] = id + 1
+			} else {
+				byKey[key] = id
+			}
+			codesArr = append(codesArr, sel...)
+		} else if bid < 0 {
+			dup = true
+		}
+		if bid < 0 {
+			bid = id
+		}
+		if !dup {
+			pairNode = append(pairNode, id)
+			pairBase = append(pairBase, bid)
+		}
+		tupleIDs = append(tupleIDs, id)
+	}
+	var visit func(d int, key uint64)
+	visit = func(d int, key uint64) {
+		if d == D {
+			touch(key)
+			return
+		}
+		for _, c := range chains[d] {
+			sel[d] = c
+			if dense {
+				visit(d+1, key+uint64(c)*keyStride[d])
+			} else {
+				visit(d+1, key<<16|uint64(c))
+			}
+		}
+	}
+
+	baseNodeIDs := make([]int, 0, len(base))
+	stride := make([]int, D)
+	for bi := range base {
+		for d := 0; d < D; d++ {
+			chains[d] = baseChains[bi*D+d]
+		}
+		// The first coordinate visited for a base entry is its own
+		// (all-finest) coordinate, so the base node ID is assigned before
+		// any of its ancestors that are new to this enumeration.
+		bid, dup = -1, false
+		tupleIDs = tupleIDs[:0]
+		visit(0, 0)
+		if dup {
+			c := make(Coord, D)
+			for d := 0; d < D; d++ {
+				c[d] = ds[d].cells[codesArr[int(bid)*D+d]]
+			}
+			return nil, fmt.Errorf("cube: lazy graph: duplicate base coordinate %q (series %d)", c.Key(g.Dims), bi)
+		}
+		g.BaseIDs = append(g.BaseIDs, int(bid))
+		baseNodeIDs = append(baseNodeIDs, int(bid))
+
+		// Record parents: within this base's lattice, rolling up one level
+		// along dimension d moves exactly one chain position, i.e. one
+		// stride in the visit order.
+		for len(g.parents) < int(numNodes)*D {
+			g.parents = append(g.parents, -1)
+		}
+		st := 1
+		for d := D - 1; d >= 0; d-- {
+			stride[d] = st
+			st *= len(chains[d])
+		}
+		for ti, id := range tupleIDs {
+			row := int(id) * D
+			for d := 0; d < D; d++ {
+				if (ti/stride[d])%len(chains[d]) < len(chains[d])-1 {
+					g.parents[row+d] = tupleIDs[ti+stride[d]]
+				}
+			}
+		}
+	}
+
+	// Materialize the coordinate table (one Cell arena, one slice header
+	// per node) and the incidence CSR from the collected pairs. The
+	// counting sort is stable, so each node's bucket stays in ascending
+	// base-ID order — base node IDs increase monotonically with input
+	// order, which fixes the aggregates' accumulation order.
+	n := int(numNodes)
+	cellsArr := make([]Cell, n*D)
+	g.coords = make([]Coord, n)
+	for i := 0; i < n; i++ {
+		for d := 0; d < D; d++ {
+			cellsArr[i*D+d] = ds[d].cells[codesArr[i*D+d]]
+		}
+		g.coords[i] = cellsArr[i*D : (i+1)*D : (i+1)*D]
+	}
+	g.incOff = make([]int32, n+1)
+	for _, id := range pairNode {
+		g.incOff[id+1]++
+	}
+	for i := 1; i <= n; i++ {
+		g.incOff[i] += g.incOff[i-1]
+	}
+	g.incIDs = make([]int32, len(pairNode))
+	cur := make([]int32, n)
+	copy(cur, g.incOff[:n])
+	for i, id := range pairNode {
+		g.incIDs[cur[id]] = pairBase[i]
+		cur[id]++
+	}
+
+	var topKey uint64
+	for d := 0; d < D; d++ {
+		c, ok := ds[d].code[Cell{Level: g.Dims[d].AllLevel()}]
+		if !ok {
+			return nil, fmt.Errorf("cube: internal error: missing top node")
+		}
+		if dense {
+			topKey += uint64(c) * keyStride[d]
+		} else {
+			topKey = topKey<<16 | uint64(c)
+		}
+	}
+	var tid int32
+	if dense {
+		tid = table[topKey] - 1
+	} else {
+		var ok bool
+		tid, ok = byKey[topKey]
+		if !ok {
+			tid = -1
+		}
+	}
+	if tid < 0 {
+		return nil, fmt.Errorf("cube: internal error: missing top node")
+	}
+	g.TopID = int(tid)
+	return baseNodeIDs, nil
+}
+
+// buildSkeletonKeys is the string-keyed fallback skeleton construction for
+// graphs the packed encoding cannot represent (more than maxPackedDims
+// dimensions or over 2^16 distinct cells in one dimension). It produces
+// the same IDs, incidence and parents as the packed path.
+func (g *Graph) buildSkeletonKeys(base []BaseSeries) ([]int, error) {
+	dims := g.Dims
+	g.coords, g.incOff, g.incIDs, g.parents, g.BaseIDs = nil, nil, nil, nil, nil
+	g.index = make(map[string]int)
+	var incidence [][]int32
+
+	perDim := make([][]Cell, len(dims))
+	coord := make(Coord, len(dims))
+	var enumerate func(d int, visit func(Coord))
+	enumerate = func(d int, visit func(Coord)) {
+		if d == len(dims) {
+			visit(coord)
+			return
+		}
+		for _, cell := range perDim[d] {
+			coord[d] = cell
+			enumerate(d+1, visit)
+		}
+	}
+
+	baseNodeIDs := make([]int, 0, len(base))
+	for bi, b := range base {
+		for d := range dims {
+			dim := &dims[d]
+			cells := make([]Cell, 0, dim.AllLevel()+1)
+			for lvl := 0; lvl <= dim.AllLevel(); lvl++ {
+				v, err := dim.Ancestor(b.Members[d], 0, lvl)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, Cell{Level: lvl, Value: v})
+			}
+			perDim[d] = cells
+		}
+		bid := -1
+		dup := false
+		enumerate(0, func(c Coord) {
+			key := c.Key(dims)
+			id, ok := g.index[key]
+			if !ok {
+				id = len(g.coords)
+				g.index[key] = id
+				g.coords = append(g.coords, append(Coord(nil), c...))
+				incidence = append(incidence, nil)
+			} else if bid < 0 {
+				dup = true
+			}
+			if bid < 0 {
+				bid = id
+			}
+			if !dup {
+				incidence[id] = append(incidence[id], int32(bid))
+			}
+		})
+		if dup {
+			return nil, fmt.Errorf("cube: lazy graph: duplicate base coordinate %q (series %d)", g.coords[bid].Key(dims), bi)
+		}
+		g.BaseIDs = append(g.BaseIDs, bid)
+		baseNodeIDs = append(baseNodeIDs, bid)
+	}
+
+	// Flatten the per-node incidence lists into the CSR form the packed
+	// path produces directly.
+	g.incOff = make([]int32, len(incidence)+1)
+	total := 0
+	for i, inc := range incidence {
+		total += len(inc)
+		g.incOff[i+1] = int32(total)
+	}
+	g.incIDs = make([]int32, 0, total)
+	for _, inc := range incidence {
+		g.incIDs = append(g.incIDs, inc...)
+	}
+
+	top := make(Coord, len(dims))
+	for d := range dims {
+		top[d] = Cell{Level: dims[d].AllLevel()}
+	}
+	tid, ok := g.index[top.Key(dims)]
+	if !ok {
+		return nil, fmt.Errorf("cube: internal error: missing top node")
+	}
+	g.TopID = tid
+
+	// Fill parents by coordinate roll-up through the (complete) key index.
+	D := len(dims)
+	g.parents = make([]int32, len(g.coords)*D)
+	pc := make(Coord, D)
+	for id, c := range g.coords {
+		copy(pc, c)
+		for d := range dims {
+			dim := &dims[d]
+			cell := c[d]
+			if cell.IsAll(dim) {
+				g.parents[id*D+d] = -1
+				continue
+			}
+			pv, err := dim.Ancestor(cell.Value, cell.Level, cell.Level+1)
+			if err != nil {
+				return nil, err
+			}
+			pc[d] = Cell{Level: cell.Level + 1, Value: pv}
+			pid, ok := g.index[pc.Key(dims)]
+			if !ok {
+				return nil, fmt.Errorf("cube: internal error: missing parent node %s", pc.Key(dims))
+			}
+			pc[d] = cell
+			g.parents[id*D+d] = int32(pid)
+		}
+	}
+	return baseNodeIDs, nil
+}
+
+// inc returns a lazy node's covered base-node IDs (ascending) from the
+// skeleton's incidence CSR.
+func (g *Graph) inc(id int) []int32 {
+	return g.incIDs[g.incOff[id]:g.incOff[id+1]]
+}
+
+// parentIDsOf reads, per dimension, the node reached by rolling the
+// coordinate up one level (-1 at ALL) from the skeleton's parent table.
+func (g *Graph) parentIDsOf(id int) []int {
+	D := len(g.Dims)
+	out := make([]int, D)
+	for d := 0; d < D; d++ {
+		out[d] = int(g.parents[id*D+d])
+	}
+	return out
+}
+
+// materialize builds a lazy aggregate node: series summed from the
+// covered base series in ascending base-ID order (the eager accumulation
+// order), parents by coordinate roll-up, child hyper edges derived from
+// the covered bases' member values. It serializes against other
+// materializations and the lazy Advance via matMu and publishes the node
+// atomically, so concurrent readers either see nil (and take this path)
+// or a fully built node.
+func (g *Graph) materialize(id int) *Node {
+	if !g.lazy {
+		panic(fmt.Sprintf("cube: node %d missing from eager graph", id))
+	}
+	g.matMu.Lock()
+	defer g.matMu.Unlock()
+	if n := g.nodes[id].Load(); n != nil {
+		return n
+	}
+	coord := g.coords[id]
+	depth := 0
+	for _, c := range coord {
+		depth += c.Level
+	}
+	vals := make([]float64, g.Length)
+	for _, b := range g.inc(id) {
+		bv := g.nodes[int(b)].Load().Series.Values
+		for t, v := range bv {
+			vals[t] += v
+		}
+	}
+
+	edges := g.childEdgesOf(id)
+
+	n := &Node{
+		ID:         id,
+		Coord:      coord,
+		Series:     timeseries.New(vals, g.Period),
+		ChildEdges: edges,
+		ParentIDs:  g.parentIDsOf(id),
+		IsBase:     false,
+		Depth:      depth,
+	}
+	g.matIDs = append(g.matIDs, id)
+	g.matCount.Add(1)
+	g.nodes[id].Store(n)
+	return n
+}
+
+// ensureChildIndex builds, once, the CSR inversion of the skeleton's
+// parent table: for every (node, dimension) bucket the ascending IDs of
+// the nodes that roll up into it — exactly the child hyper edges the eager
+// wiring produces (eager appends children in ID order and sorts; the
+// inversion scans IDs ascending, so buckets come out sorted for free).
+func (g *Graph) ensureChildIndex() {
+	g.childOnce.Do(func() {
+		D := len(g.Dims)
+		n := len(g.coords)
+		off := make([]int32, n*D+1)
+		for i, p := range g.parents {
+			if p >= 0 {
+				off[int(p)*D+i%D+1]++
+			}
+		}
+		for i := 1; i < len(off); i++ {
+			off[i] += off[i-1]
+		}
+		ids := make([]int32, off[len(off)-1])
+		cur := make([]int32, n*D)
+		copy(cur, off[:n*D])
+		for c := 0; c < n; c++ {
+			for d := 0; d < D; d++ {
+				if p := g.parents[c*D+d]; p >= 0 {
+					b := int(p)*D + d
+					ids[cur[b]] = int32(c)
+					cur[b]++
+				}
+			}
+		}
+		g.childOff, g.childIDs = off, ids
+	})
+}
+
+// childEdgesOf returns a lazy node's child hyper edges — one deduplicated,
+// sorted edge per aggregated dimension — from the child index.
+func (g *Graph) childEdgesOf(id int) [][]int {
+	g.ensureChildIndex()
+	D := len(g.Dims)
+	edges := make([][]int, D)
+	for d := 0; d < D; d++ {
+		lo, hi := g.childOff[id*D+d], g.childOff[id*D+d+1]
+		if lo == hi {
+			continue
+		}
+		e := make([]int, hi-lo)
+		for i := lo; i < hi; i++ {
+			e[i-lo] = int(g.childIDs[i])
+		}
+		edges[d] = e
+	}
+	return edges
 }
 
 // Children returns one hyper edge of the node: the child IDs along the
@@ -266,16 +1003,41 @@ func (g *Graph) Covers(t, s *Node) bool {
 
 // Neighbors returns the undirected adjacency of a node: all one-step
 // roll-ups (parents) and one-step drill-downs (children across every
-// aggregated dimension).
+// aggregated dimension). On a lazy graph the adjacency of a
+// not-yet-materialized node is derived from the skeleton without building
+// the node (neighbor discovery — e.g. the advisor's indicator BFS — must
+// not force series aggregation).
 func (g *Graph) Neighbors(id int) []int {
-	n := g.Nodes[id]
+	if n := g.nodes[id].Load(); n != nil {
+		return flattenAdj(n.ParentIDs, n.ChildEdges)
+	}
+	g.adjMu.Lock()
+	if out, ok := g.adj[id]; ok {
+		g.adjMu.Unlock()
+		return out
+	}
+	g.adjMu.Unlock()
+	out := flattenAdj(g.parentIDsOf(id), g.childEdgesOf(id))
+	// Cache the derived adjacency; it is deterministic, so concurrent
+	// derivations store identical slices and last-write-wins is safe.
+	g.adjMu.Lock()
+	if g.adj == nil {
+		g.adj = make(map[int][]int)
+	}
+	g.adj[id] = out
+	g.adjMu.Unlock()
+	return out
+}
+
+// flattenAdj flattens parents and child edges into the adjacency list.
+func flattenAdj(parents []int, edges [][]int) []int {
 	var out []int
-	for _, p := range n.ParentIDs {
+	for _, p := range parents {
 		if p >= 0 {
 			out = append(out, p)
 		}
 	}
-	for _, edge := range n.ChildEdges {
+	for _, edge := range edges {
 		out = append(out, edge...)
 	}
 	return out
@@ -316,13 +1078,50 @@ func (g *Graph) ClosestNodes(id, k int) []int {
 // IDs of all base nodes covered by t. The collection over all nodes forms
 // the summing matrix S used by the Combine baseline.
 func (g *Graph) SummingVector(t *Node) []int {
+	if g.lazy {
+		return g.CoveredBases(t.ID)
+	}
 	var out []int
 	for _, bid := range g.BaseIDs {
-		if g.Covers(t, g.Nodes[bid]) {
+		if g.Covers(t, g.Node(bid)) {
 			out = append(out, bid)
 		}
 	}
 	return out
+}
+
+// CoveredBases returns the sorted base-node IDs whose series contribute
+// to the node's aggregate (the node itself for base nodes). Lazy graphs
+// answer from the construction skeleton without materializing anything;
+// eager graphs compute and cache the full incidence on first use.
+func (g *Graph) CoveredBases(id int) []int {
+	if g.lazy {
+		inc := g.inc(id)
+		out := make([]int, len(inc))
+		for i, b := range inc {
+			out[i] = int(b)
+		}
+		return out
+	}
+	g.ensureIncidence()
+	return g.incAll[id]
+}
+
+// CoveredBaseCount returns the number of base series contributing to the
+// node's aggregate — the node's population size for sampling decisions —
+// without materializing the node.
+func (g *Graph) CoveredBaseCount(id int) int {
+	if g.lazy {
+		return int(g.incOff[id+1] - g.incOff[id])
+	}
+	g.ensureIncidence()
+	return len(g.incAll[id])
+}
+
+func (g *Graph) ensureIncidence() {
+	g.incOnce.Do(func() {
+		g.incAll = g.BaseIncidence()
+	})
 }
 
 // Advance appends one new observation to every base series (values keyed by
@@ -330,9 +1129,16 @@ func (g *Graph) SummingVector(t *Node) []int {
 // It returns an error unless exactly all base nodes are present, mirroring
 // the batched-insert maintenance of Section V ("we currently batch inserts
 // until a new value is available for each base time series").
+//
+// On a lazy graph only the materialized nodes are extended; nodes
+// materialized later sum the already-extended base series and need no
+// catch-up.
 func (g *Graph) Advance(values map[int]float64) error {
 	if len(values) != len(g.BaseIDs) {
 		return fmt.Errorf("cube: Advance needs a value for all %d base series, got %d", len(g.BaseIDs), len(values))
+	}
+	if g.lazy {
+		return g.advanceLazy(values)
 	}
 	// Zero-extend every node, then add base contributions to all covering
 	// nodes by walking ancestor closures. Contributions are applied in
@@ -340,12 +1146,12 @@ func (g *Graph) Advance(values map[int]float64) error {
 	// bit-for-bit reproducible no matter how the batch map was assembled
 	// (floating-point addition is not associative; a fixed order makes two
 	// engines fed the same batches byte-identical).
-	for _, n := range g.Nodes {
-		n.Series.Append(0)
+	for i := range g.nodes {
+		g.nodes[i].Load().Series.Append(0)
 	}
 	bids := make([]int, 0, len(values))
 	for bid := range values {
-		if bid < 0 || bid >= len(g.Nodes) || !g.Nodes[bid].IsBase {
+		if bid < 0 || bid >= len(g.nodes) || !g.IsBase(bid) {
 			return fmt.Errorf("cube: Advance: %d is not a base node", bid)
 		}
 		bids = append(bids, bid)
@@ -355,8 +1161,33 @@ func (g *Graph) Advance(values map[int]float64) error {
 	for _, bid := range bids {
 		v := values[bid]
 		for _, id := range g.coverClosure(bid) {
-			g.Nodes[id].Series.Values[t] += v
+			g.Node(id).Series.Values[t] += v
 		}
+	}
+	g.Length++
+	return nil
+}
+
+// advanceLazy extends every materialized node by one observation. Each
+// node's new value sums the batch values of its covered bases in
+// ascending base-ID order — per node the same addition sequence as the
+// eager Advance, so the two modes stay bit-identical. Holding matMu for
+// the whole advance keeps concurrent materializations from reading
+// half-extended base series.
+func (g *Graph) advanceLazy(values map[int]float64) error {
+	g.matMu.Lock()
+	defer g.matMu.Unlock()
+	for bid := range values {
+		if !g.IsBase(bid) {
+			return fmt.Errorf("cube: Advance: %d is not a base node", bid)
+		}
+	}
+	for _, id := range g.matIDs {
+		var v float64
+		for _, b := range g.inc(id) {
+			v += values[int(b)]
+		}
+		g.nodes[id].Load().Series.Append(v)
 	}
 	g.Length++
 	return nil
@@ -375,7 +1206,7 @@ func (g *Graph) coverClosure(baseID int) []int {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, p := range g.Nodes[cur].ParentIDs {
+		for _, p := range g.Node(cur).ParentIDs {
 			if p < 0 || seen[p] {
 				continue
 			}
@@ -392,12 +1223,18 @@ func (g *Graph) coverClosure(baseID int) []int {
 }
 
 // BaseIncidence returns, for every node ID, the sorted base-node IDs it
-// covers (the rows of the summing matrix S). Unlike calling SummingVector
-// per node — which scans all base nodes each time — this walks each base
-// node's ancestor closure once, so the total work is linear in the number
-// of (base, ancestor) pairs.
+// covers (the rows of the summing matrix S). Lazy graphs answer from the
+// construction skeleton; eager graphs walk each base node's ancestor
+// closure once, so the total work is linear in the number of
+// (base, ancestor) pairs.
 func (g *Graph) BaseIncidence() [][]int {
-	out := make([][]int, len(g.Nodes))
+	out := make([][]int, len(g.nodes))
+	if g.lazy {
+		for id := range out {
+			out[id] = g.CoveredBases(id)
+		}
+		return out
+	}
 	for _, bid := range g.BaseIDs {
 		for _, id := range g.coverClosure(bid) {
 			out[id] = append(out[id], bid)
@@ -407,4 +1244,17 @@ func (g *Graph) BaseIncidence() [][]int {
 		sort.Ints(l)
 	}
 	return out
+}
+
+// NodeValues returns the node's current series values, materializing the
+// node when lazy. It satisfies the derivation.SeriesSource interface —
+// the exact counterpart of the sampling estimator.
+func (g *Graph) NodeValues(id int) []float64 { return g.Node(id).Series.Values }
+
+// MaterializeAll forces every node of a lazy graph into existence (used
+// by baselines and tests that compare against the eager construction).
+func (g *Graph) MaterializeAll() {
+	for id := 0; id < len(g.nodes); id++ {
+		g.Node(id)
+	}
 }

@@ -1,0 +1,225 @@
+package cube
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cubefc/internal/timeseries"
+)
+
+func lazyFig1Graph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewLazyGraph(fig1Dims(t), fig1Base(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// requireNodesBitIdentical fails unless every node of a and b agrees on
+// key, structure and bit-exact series contents. a is assumed eager; b may
+// be lazy (nodes are resolved through the accessor, which materializes).
+func requireNodesBitIdentical(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() {
+		t.Fatalf("node counts differ: %d vs %d", a.NumNodes(), b.NumNodes())
+	}
+	if a.TopID != b.TopID {
+		t.Fatalf("TopID differs: %d vs %d", a.TopID, b.TopID)
+	}
+	if len(a.BaseIDs) != len(b.BaseIDs) {
+		t.Fatalf("BaseIDs differ in length")
+	}
+	for i := range a.BaseIDs {
+		if a.BaseIDs[i] != b.BaseIDs[i] {
+			t.Fatalf("BaseIDs[%d] differ: %d vs %d", i, a.BaseIDs[i], b.BaseIDs[i])
+		}
+	}
+	for id := 0; id < a.NumNodes(); id++ {
+		na, nb := a.Node(id), b.Node(id)
+		if na.Key(a.Dims) != nb.Key(b.Dims) {
+			t.Fatalf("node %d key: %q vs %q", id, na.Key(a.Dims), nb.Key(b.Dims))
+		}
+		if na.IsBase != nb.IsBase || na.Depth != nb.Depth {
+			t.Fatalf("node %d flags differ: base %v/%v depth %d/%d",
+				id, na.IsBase, nb.IsBase, na.Depth, nb.Depth)
+		}
+		if len(na.Series.Values) != len(nb.Series.Values) {
+			t.Fatalf("node %d series length: %d vs %d",
+				id, len(na.Series.Values), len(nb.Series.Values))
+		}
+		for ti, v := range na.Series.Values {
+			if math.Float64bits(v) != math.Float64bits(nb.Series.Values[ti]) {
+				t.Fatalf("node %d t=%d: %v vs %v (not bit-identical)",
+					id, ti, v, nb.Series.Values[ti])
+			}
+		}
+		for d := range a.Dims {
+			if na.ParentIDs[d] != nb.ParentIDs[d] {
+				t.Fatalf("node %d dim %d parent: %d vs %d",
+					id, d, na.ParentIDs[d], nb.ParentIDs[d])
+			}
+			ea, eb := na.ChildEdges[d], nb.ChildEdges[d]
+			if len(ea) != len(eb) {
+				t.Fatalf("node %d dim %d edge length: %d vs %d", id, d, len(ea), len(eb))
+			}
+			for i := range ea {
+				if ea[i] != eb[i] {
+					t.Fatalf("node %d dim %d edge[%d]: %d vs %d", id, d, i, ea[i], eb[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLazyGraphBitIdenticalToEager(t *testing.T) {
+	eager := fig1Graph(t)
+	lazy := lazyFig1Graph(t)
+	if !lazy.Lazy() || eager.Lazy() {
+		t.Fatal("Lazy() flags wrong")
+	}
+	// Materialize in a scrambled order: bit-identity must not depend on
+	// access order.
+	order := rand.New(rand.NewSource(7)).Perm(lazy.NumNodes())
+	for _, id := range order {
+		lazy.Node(id)
+	}
+	requireNodesBitIdentical(t, eager, lazy)
+}
+
+func TestLazyAdvanceBitIdenticalToEager(t *testing.T) {
+	eager := fig1Graph(t)
+	lazy := lazyFig1Graph(t)
+	// Materialize only part of the graph, advance, then touch the rest:
+	// late-materialized nodes must sum the already-extended base series.
+	lazy.Node(lazy.TopID)
+	rng := rand.New(rand.NewSource(11))
+	for step := 0; step < 3; step++ {
+		batch := make(map[int]float64, len(eager.BaseIDs))
+		for _, bid := range eager.BaseIDs {
+			batch[bid] = math.Round(rng.Float64()*1000) / 10
+		}
+		if err := eager.Advance(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := lazy.Advance(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eager.Length != lazy.Length {
+		t.Fatalf("lengths differ: %d vs %d", eager.Length, lazy.Length)
+	}
+	requireNodesBitIdentical(t, eager, lazy)
+}
+
+func TestLazyMaterializationIsOnDemand(t *testing.T) {
+	g := lazyFig1Graph(t)
+	if got, want := g.MaterializedNodes(), len(g.BaseIDs); got != want {
+		t.Fatalf("MaterializedNodes = %d at construction, want %d (bases only)", got, want)
+	}
+	top := g.Top()
+	if g.MaterializedNodes() != len(g.BaseIDs)+1 {
+		t.Fatalf("probing the top node should materialize exactly one aggregate, got %d",
+			g.MaterializedNodes())
+	}
+	// Structural reads must not materialize.
+	for id := 0; id < g.NumNodes(); id++ {
+		g.KeyOf(id)
+		g.CoordOf(id)
+		g.IsBase(id)
+		g.CoveredBaseCount(id)
+		g.CoveredBases(id)
+	}
+	if g.MaterializedNodes() != len(g.BaseIDs)+1 {
+		t.Fatal("structural accessors must not materialize nodes")
+	}
+	if len(g.CoveredBases(top.ID)) != len(g.BaseIDs) {
+		t.Fatal("top must cover all bases")
+	}
+	g.MaterializeAll()
+	if g.MaterializedNodes() != g.NumNodes() {
+		t.Fatal("MaterializeAll must materialize everything")
+	}
+}
+
+func TestLazyCoveredBasesMatchEager(t *testing.T) {
+	eager := fig1Graph(t)
+	lazy := lazyFig1Graph(t)
+	for id := 0; id < eager.NumNodes(); id++ {
+		a, b := eager.CoveredBases(id), lazy.CoveredBases(id)
+		if len(a) != len(b) {
+			t.Fatalf("node %d incidence length: %d vs %d", id, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d incidence[%d]: %d vs %d", id, i, a[i], b[i])
+			}
+		}
+		if eager.CoveredBaseCount(id) != lazy.CoveredBaseCount(id) {
+			t.Fatalf("node %d covered-base count differs", id)
+		}
+	}
+}
+
+func TestLazyRejectsDuplicateBaseCoordinates(t *testing.T) {
+	dims := fig1Dims(t)
+	base := fig1Base(8)
+	base = append(base, BaseSeries{
+		Members: base[0].Members,
+		Series:  timeseries.New(make([]float64, 8), 4),
+	})
+	if _, err := NewLazyGraph(dims, base); err == nil {
+		t.Fatal("duplicate base coordinate must be rejected in lazy mode")
+	}
+}
+
+// TestLazyConcurrentMaterializeAndAdvance drives materialization from many
+// goroutines racing an Advance stream — the CI -race target for the lazy
+// write path.
+func TestLazyConcurrentMaterializeAndAdvance(t *testing.T) {
+	g := lazyFig1Graph(t)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				id := rng.Intn(g.NumNodes())
+				n := g.Node(id)
+				if n == nil || n.ID != id {
+					t.Errorf("bad node for id %d", id)
+					return
+				}
+				_ = g.Neighbors(id)
+				_ = g.CoveredBaseCount(id)
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(int64(w))
+	}
+	for step := 0; step < 20; step++ {
+		batch := make(map[int]float64, len(g.BaseIDs))
+		for _, bid := range g.BaseIDs {
+			batch[bid] = float64(step + bid)
+		}
+		if err := g.Advance(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Every node must end at the advanced length.
+	g.MaterializeAll()
+	for id := 0; id < g.NumNodes(); id++ {
+		if got := len(g.Node(id).Series.Values); got != g.Length {
+			t.Fatalf("node %d has %d observations, want %d", id, got, g.Length)
+		}
+	}
+}

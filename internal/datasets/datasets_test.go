@@ -78,7 +78,7 @@ func TestEnergyBaseNoisierThanAggregate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base := g.Nodes[g.BaseIDs[0]].Series
+	base := g.Node(g.BaseIDs[0]).Series
 	top := g.Top().Series
 	cvBase := base.Std() / base.Mean()
 	cvTop := top.Std() / top.Mean()

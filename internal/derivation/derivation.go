@@ -46,13 +46,29 @@ func (k Kind) String() string {
 	}
 }
 
+// SeriesSource provides the history of a node's series. The exact source
+// is *cube.Graph (materializing lazy nodes on access); the sampling
+// estimator of cube.NewSampledSource answers with reservoir-sampled
+// estimates instead, which turns every derivation quantity below (weights,
+// historical errors, stability) into its sampled counterpart without
+// touching the formulas.
+type SeriesSource interface {
+	NodeValues(id int) []float64
+}
+
 // Scheme derives the forecast of Target from the models at Sources with
-// derivation weight K.
+// derivation weight K. When Weights is non-nil (sampled derivation,
+// len(Weights) == len(Sources)), each source forecast is scaled by its own
+// weight instead and K is informational only.
 type Scheme struct {
 	Target  int
 	Sources []int
 	K       float64
 	Kind    Kind
+	// Weights holds per-source multipliers for sampled schemes: the
+	// Horvitz–Thompson inflation of each sampled source times the
+	// derivation weight. Nil for exact schemes.
+	Weights []float64
 }
 
 // NewScheme builds a scheme for target derived from sources over the first
@@ -60,7 +76,14 @@ type Scheme struct {
 // avoid leaking evaluation data into the weight). It classifies the scheme
 // kind from the graph structure.
 func NewScheme(g *cube.Graph, target int, sources []int, historyLen int) (Scheme, error) {
-	k, err := Weight(g, target, sources, historyLen)
+	return NewSchemeFrom(g, g, target, sources, historyLen)
+}
+
+// NewSchemeFrom is NewScheme with the series histories read from src
+// instead of the graph, so the weight can be computed from sampled
+// estimates while the scheme kind is still classified structurally.
+func NewSchemeFrom(src SeriesSource, g *cube.Graph, target int, sources []int, historyLen int) (Scheme, error) {
+	k, err := WeightFrom(src, target, sources, historyLen)
 	if err != nil {
 		return Scheme{}, err
 	}
@@ -74,12 +97,12 @@ func Classify(g *cube.Graph, target int, sources []int) Kind {
 		if s == target {
 			return Direct
 		}
-		if g.Covers(g.Nodes[s], g.Nodes[target]) {
+		if g.Covers(g.Node(s), g.Node(target)) {
 			return Disaggregation
 		}
 	}
 	// Aggregation: sources exactly one child hyper edge of target.
-	tn := g.Nodes[target]
+	tn := g.Node(target)
 	for _, edge := range tn.ChildEdges {
 		if sameIDSet(edge, sources) {
 			return Aggregation
@@ -109,13 +132,18 @@ func sameIDSet(a, b []int) bool {
 // observations (eq. 2 and 3). A historyLen <= 0 or beyond the series length
 // uses the whole history.
 func Weight(g *cube.Graph, target int, sources []int, historyLen int) (float64, error) {
+	return WeightFrom(g, target, sources, historyLen)
+}
+
+// WeightFrom is Weight over an arbitrary series source.
+func WeightFrom(src SeriesSource, target int, sources []int, historyLen int) (float64, error) {
 	if len(sources) == 0 {
 		return 0, fmt.Errorf("derivation: empty source set for target %d", target)
 	}
-	ht := historySum(g, target, historyLen)
+	ht := historySum(src, target, historyLen)
 	var hs float64
 	for _, s := range sources {
-		hs += historySum(g, s, historyLen)
+		hs += historySum(src, s, historyLen)
 	}
 	if hs == 0 {
 		return 0, fmt.Errorf("derivation: zero source history sum for target %d", target)
@@ -123,14 +151,14 @@ func Weight(g *cube.Graph, target int, sources []int, historyLen int) (float64, 
 	return ht / hs, nil
 }
 
-func historySum(g *cube.Graph, id, historyLen int) float64 {
-	s := g.Nodes[id].Series
-	n := s.Len()
+func historySum(src SeriesSource, id, historyLen int) float64 {
+	vals := src.NodeValues(id)
+	n := len(vals)
 	if historyLen > 0 && historyLen < n {
 		n = historyLen
 	}
 	var acc float64
-	for _, v := range s.Values[:n] {
+	for _, v := range vals[:n] {
 		acc += v
 	}
 	return acc
@@ -147,6 +175,21 @@ func (sc *Scheme) Apply(sourceForecasts [][]float64) ([]float64, error) {
 	}
 	h := len(sourceForecasts[0])
 	out := make([]float64, h)
+	if sc.Weights != nil {
+		if len(sc.Weights) != len(sc.Sources) {
+			return nil, fmt.Errorf("derivation: got %d weights for %d sources", len(sc.Weights), len(sc.Sources))
+		}
+		for i, fc := range sourceForecasts {
+			if len(fc) != h {
+				return nil, fmt.Errorf("derivation: forecast %d has length %d, want %d", i, len(fc), h)
+			}
+			w := sc.Weights[i]
+			for j, v := range fc {
+				out[j] += w * v
+			}
+		}
+		return out, nil
+	}
 	for i, fc := range sourceForecasts {
 		if len(fc) != h {
 			return nil, fmt.Errorf("derivation: forecast %d has length %d, want %d", i, len(fc), h)
@@ -168,24 +211,30 @@ func (sc *Scheme) Apply(sourceForecasts [][]float64) ([]float64, error) {
 // the "historical error" indicator of Section III-B. The error is computed
 // over the first historyLen observations (<= 0 means all).
 func HistoricalError(g *cube.Graph, target int, sources []int, historyLen int) (float64, error) {
-	k, err := Weight(g, target, sources, historyLen)
+	return HistoricalErrorFrom(g, target, sources, historyLen)
+}
+
+// HistoricalErrorFrom is HistoricalError over an arbitrary series source.
+func HistoricalErrorFrom(src SeriesSource, target int, sources []int, historyLen int) (float64, error) {
+	k, err := WeightFrom(src, target, sources, historyLen)
 	if err != nil {
 		return math.NaN(), err
 	}
-	n := g.Nodes[target].Series.Len()
+	tv := src.NodeValues(target)
+	n := len(tv)
 	if historyLen > 0 && historyLen < n {
 		n = historyLen
 	}
 	derived := make([]float64, n)
 	for _, s := range sources {
-		for i, v := range g.Nodes[s].Series.Values[:n] {
+		for i, v := range src.NodeValues(s)[:n] {
 			derived[i] += v
 		}
 	}
 	for i := range derived {
 		derived[i] *= k
 	}
-	return timeseries.SMAPE(g.Nodes[target].Series.Values[:n], derived), nil
+	return timeseries.SMAPE(tv[:n], derived), nil
 }
 
 // WeightStability measures the similarity indicator of Section III-B: the
@@ -195,16 +244,25 @@ func HistoricalError(g *cube.Graph, target int, sources []int, historyLen int) (
 // weights yield large values. Steps with a (near-)zero source sum are
 // skipped; if fewer than two usable steps remain the stability is +Inf.
 func WeightStability(g *cube.Graph, target int, sources []int, historyLen int) float64 {
-	n := g.Nodes[target].Series.Len()
+	return WeightStabilityFrom(g, target, sources, historyLen)
+}
+
+// WeightStabilityFrom is WeightStability over an arbitrary series source.
+func WeightStabilityFrom(src SeriesSource, target int, sources []int, historyLen int) float64 {
+	tv := src.NodeValues(target)
+	n := len(tv)
 	if historyLen > 0 && historyLen < n {
 		n = historyLen
 	}
 	ratios := make([]float64, 0, n)
-	tv := g.Nodes[target].Series.Values
+	srcVals := make([][]float64, len(sources))
+	for i, s := range sources {
+		srcVals[i] = src.NodeValues(s)
+	}
 	for i := 0; i < n; i++ {
 		var den float64
-		for _, s := range sources {
-			den += g.Nodes[s].Series.Values[i]
+		for _, sv := range srcVals {
+			den += sv[i]
 		}
 		if math.Abs(den) < 1e-12 {
 			continue
@@ -240,7 +298,7 @@ func DirectScheme(target int) Scheme {
 // AggregationScheme returns the scheme deriving target from one of its
 // child hyper edges (Figure 3b). The first non-empty edge is used.
 func AggregationScheme(g *cube.Graph, target, historyLen int) (Scheme, bool) {
-	children := g.Children(g.Nodes[target])
+	children := g.Children(g.Node(target))
 	if len(children) == 0 {
 		return Scheme{}, false
 	}
@@ -255,7 +313,7 @@ func AggregationScheme(g *cube.Graph, target, historyLen int) (Scheme, bool) {
 // DisaggregationScheme returns the scheme deriving target from its parent
 // along the given dimension (Figure 3c).
 func DisaggregationScheme(g *cube.Graph, target, dim, historyLen int) (Scheme, bool) {
-	p := g.Nodes[target].ParentIDs[dim]
+	p := g.Node(target).ParentIDs[dim]
 	if p < 0 {
 		return Scheme{}, false
 	}

@@ -265,13 +265,13 @@ func TestDerivedForecastMatchesAggregateProperty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fc, err := sc.Apply([][]float64{g.Nodes[c1].Series.Values, g.Nodes[c2].Series.Values})
+	fc, err := sc.Apply([][]float64{g.Node(c1).Series.Values, g.Node(c2).Series.Values})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range fc {
-		if math.Abs(fc[i]-g.Nodes[r1].Series.Values[i]) > 1e-9 {
-			t.Fatalf("derived parent %v != actual %v", fc[i], g.Nodes[r1].Series.Values[i])
+		if math.Abs(fc[i]-g.Node(r1).Series.Values[i]) > 1e-9 {
+			t.Fatalf("derived parent %v != actual %v", fc[i], g.Node(r1).Series.Values[i])
 		}
 	}
 }

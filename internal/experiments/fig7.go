@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"cubefc/internal/core"
@@ -28,8 +30,14 @@ const (
 const Seed = 42
 
 // LoadDataset builds one of the evaluation data sets by name: "tourism",
-// "sales", "energy", "gen<k>" (e.g. "gen10k").
+// "sales", "energy", "gen<k>" (e.g. "gen10k"), or "cube<N>" for the
+// synthetic benchmark cube sized to ~N hyper-graph nodes (e.g. "cube100k"
+// — pair it with lazy construction and sampled estimation; see DESIGN.md
+// §9).
 func LoadDataset(name string, scale Scale) (*datasets.Dataset, error) {
+	if n, ok := parseCubeName(name); ok {
+		return datasets.GenCube(Seed, datasets.CubeGenForNodes(n, 2)), nil
+	}
 	switch name {
 	case "tourism":
 		return datasets.Tourism(Seed), nil
@@ -50,6 +58,28 @@ func LoadDataset(name string, scale Scale) (*datasets.Dataset, error) {
 	default:
 		return nil, fmt.Errorf("experiments: unknown data set %q", name)
 	}
+}
+
+// parseCubeName recognizes "cube<N>" data set names, with an optional
+// "k"/"m" suffix on N ("cube100k" → 100 000 target nodes).
+func parseCubeName(name string) (int, bool) {
+	const prefix = "cube"
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	rest := name[len(prefix):]
+	mult := 1
+	switch {
+	case strings.HasSuffix(rest, "k"):
+		mult, rest = 1_000, strings.TrimSuffix(rest, "k")
+	case strings.HasSuffix(rest, "m"):
+		mult, rest = 1_000_000, strings.TrimSuffix(rest, "m")
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n * mult, true
 }
 
 // Approach names in the order of Figure 7.

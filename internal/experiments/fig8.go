@@ -40,14 +40,14 @@ func Fig8a(scale Scale) (*Table, error) {
 		// Fit one model per node once; evaluate derivations to every
 		// other node.
 		fc := make(map[int][]float64, g.NumNodes())
-		for id := range g.Nodes {
+		for id := 0; id < g.NumNodes(); id++ {
 			m := core.DefaultModelFactory(g.Period)
-			if err := m.Fit(g.Nodes[id].Series.Slice(0, trainLen)); err != nil {
+			if err := m.Fit(g.Node(id).Series.Slice(0, trainLen)); err != nil {
 				continue
 			}
 			fc[id] = m.Forecast(g.Length - trainLen)
 		}
-		for s := range g.Nodes {
+		for s := 0; s < g.NumNodes(); s++ {
 			if fc[s] == nil {
 				continue
 			}
@@ -61,7 +61,7 @@ func Fig8a(scale Scale) (*Table, error) {
 				if err != nil {
 					continue
 				}
-				real := timeseries.SMAPE(g.Nodes[tgt].Series.Values[trainLen:], derived)
+				real := timeseries.SMAPE(g.Node(tgt).Series.Values[trainLen:], derived)
 				if math.IsNaN(real) {
 					continue
 				}

@@ -267,9 +267,9 @@ func Open(g *cube.Graph, cfg *core.Configuration, opts Options) (*DB, error) {
 	// Initialize incremental weight states from the full history.
 	for id, sc := range cfg.Schemes {
 		st := &schemeState{}
-		st.hTarget = g.Nodes[id].Series.Sum()
+		st.hTarget = g.Node(id).Series.Sum()
 		for _, s := range sc.Sources {
-			st.hSources += g.Nodes[s].Series.Sum()
+			st.hSources += g.Node(s).Series.Sum()
 		}
 		db.schemes[id] = st
 	}
@@ -455,7 +455,17 @@ func (db *DB) forecastIntervalLocked(g guard, nodeID, h int, conf float64) (poin
 func (db *DB) deriveForecast(g guard, nodeID, h int) (fc []float64, err error) {
 	sc, ok := db.cfg.Schemes[nodeID]
 	if !ok {
-		return nil, fmt.Errorf("f2db: node %d has no derivation scheme", nodeID)
+		// A sampled advisor run leaves uncovered nodes scheme-less;
+		// resolving one mutates the configuration, so it needs the write
+		// lock — under shared access take the exclusive-retry path.
+		if !g.exclusive {
+			return nil, errNeedsReestimate
+		}
+		var err error
+		sc, err = db.cfg.ResolveScheme(nodeID)
+		if err != nil {
+			return nil, fmt.Errorf("f2db: node %d: %w", nodeID, err)
+		}
 	}
 	fcs := make([][]float64, len(sc.Sources))
 	for i, s := range sc.Sources {
@@ -534,7 +544,7 @@ func (db *DB) reestimate(g guard, id int, m forecast.Model) error {
 			ws.WarmStart(ws.Params())
 		}
 	}
-	if err := m.Fit(db.graph.Nodes[id].Series); err != nil {
+	if err := m.Fit(db.graph.Node(id).Series); err != nil {
 		return fmt.Errorf("f2db: re-estimating node %d: %w", id, err)
 	}
 	db.installModel(g, id, m)
@@ -607,7 +617,7 @@ func (db *DB) InsertBase(baseID int, value float64) (err error) {
 		}
 		db.met.maintainNanos.Add(time.Since(start).Nanoseconds())
 	}()
-	if baseID < 0 || baseID >= db.graph.NumNodes() || !db.graph.Nodes[baseID].IsBase {
+	if !db.graph.IsBase(baseID) {
 		return fmt.Errorf("f2db: %d is not a base node", baseID)
 	}
 	s := db.stripeFor(baseID)
@@ -666,7 +676,7 @@ func (db *DB) InsertBatch(values map[int]float64) (err error) {
 	}()
 	groups := make([][]int, len(db.stripes))
 	for id := range values {
-		if id < 0 || id >= db.graph.NumNodes() || !db.graph.Nodes[id].IsBase {
+		if !db.graph.IsBase(id) {
 			return fmt.Errorf("f2db: InsertBatch: %d is not a base node", id)
 		}
 		si := stripeIndex(id, db.stripeShift)
@@ -782,7 +792,7 @@ func (db *DB) advanceBatch(g guard, batch map[int]float64) error {
 	// Model state updates: compare the one-step forecast against the new
 	// actual to maintain the rolling error, then advance the state.
 	for id, m := range db.cfg.Models {
-		actual := db.graph.Nodes[id].Series.Values[t]
+		actual := db.graph.Node(id).Series.Values[t]
 		st := db.mstats[id]
 		if fc := m.Forecast(1); len(fc) == 1 {
 			den := math.Abs(actual) + math.Abs(fc[0])
@@ -804,9 +814,9 @@ func (db *DB) advanceBatch(g guard, batch map[int]float64) error {
 		if !ok {
 			continue
 		}
-		st.hTarget += db.graph.Nodes[id].Series.Values[t]
+		st.hTarget += db.graph.Node(id).Series.Values[t]
 		for _, s := range sc.Sources {
-			st.hSources += db.graph.Nodes[s].Series.Values[t]
+			st.hSources += db.graph.Node(s).Series.Values[t]
 		}
 	}
 	// A time advance changes every node's series, every model's state and
@@ -855,7 +865,7 @@ func (db *DB) Health() map[string]ModelHealth {
 			h.UpdatesSinceFit = st.UpdatesSinceFit
 			h.RollingError = st.RollingError
 		}
-		out[db.graph.Nodes[id].Key(db.graph.Dims)] = h
+		out[db.graph.Node(id).Key(db.graph.Dims)] = h
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 )
 
@@ -37,6 +38,19 @@ func (db *DB) MetricsHandler(extra ...Collector) http.Handler {
 // cannot drift between them.
 func MountMetrics(mux *http.ServeMux, db *DB, extra ...Collector) {
 	mux.Handle("/metrics", db.MetricsHandler(extra...))
+}
+
+// MountPprof mounts the net/http/pprof profiling handlers under
+// /debug/pprof/ on mux — the same mux MountMetrics uses, so scale runs
+// can be profiled in place through the metrics listener (-pprof in f2dbd
+// and f2dbcli). The handlers are read-only; CPU and trace profiles cost
+// their sampling overhead only while a profile request is in flight.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // MountCollectors mounts a /metrics endpoint serving only the given

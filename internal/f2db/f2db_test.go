@@ -469,7 +469,7 @@ func TestWeightMaintainedIncrementally(t *testing.T) {
 	for step := 0; step < 8; step++ {
 		for _, id := range g.BaseIDs {
 			v := 10.0
-			if g.Covers(g.Nodes[target], g.Nodes[id]) {
+			if g.Covers(g.Node(target), g.Node(id)) {
 				v = 300.0 // the target's subtree explodes
 			}
 			if err := db.InsertBase(id, v); err != nil {
@@ -876,7 +876,7 @@ func TestGeneratedValidQueriesParse(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	aggs := []string{"SUM(m)", "AVG(m)"}
 	for i := 0; i < 100; i++ {
-		n := g.Nodes[rng.Intn(g.NumNodes())]
+		n := g.Node(rng.Intn(g.NumNodes()))
 		q := "SELECT time, " + aggs[rng.Intn(2)] + " FROM facts"
 		first := true
 		for d, cell := range n.Coord {

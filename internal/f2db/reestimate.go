@@ -132,7 +132,7 @@ func (db *DB) reestimateNode(id int) bool {
 			return false
 		}
 		gen := db.advanceGen.Load()
-		series := db.graph.Nodes[id].Series.Clone()
+		series := db.graph.Node(id).Series.Clone()
 		clone, err := forecast.Clone(m)
 		db.unlock(g)
 		if err != nil {

@@ -124,8 +124,8 @@ func (p *Planner) NumNodes() int { return p.g.NumNodes() }
 
 // NodeKey renders a node's canonical coordinate key, for diagnostics.
 func (p *Planner) NodeKey(id int) string {
-	if id < 0 || id >= len(p.g.Nodes) {
+	if id < 0 || id >= p.g.NumNodes() {
 		return fmt.Sprintf("node(%d)", id)
 	}
-	return p.g.Nodes[id].Key(p.g.Dims)
+	return p.g.KeyOf(id)
 }

@@ -101,7 +101,7 @@ func SaveDatabase(w io.Writer, db *DB) error {
 		Pending:      make(map[string]float64, len(pending)),
 	}
 	for _, id := range db.graph.BaseIDs {
-		n := db.graph.Nodes[id]
+		n := db.graph.Node(id)
 		members := make([]string, len(n.Coord))
 		for d, cell := range n.Coord {
 			members[d] = cell.Value
@@ -112,7 +112,7 @@ func SaveDatabase(w io.Writer, db *DB) error {
 		})
 	}
 	for id, v := range pending {
-		img.Pending[db.graph.Nodes[id].Key(db.graph.Dims)] = v
+		img.Pending[db.graph.Node(id).Key(db.graph.Dims)] = v
 	}
 	if db.plans != nil {
 		img.PlanTexts = db.plans.keys()
@@ -123,7 +123,7 @@ func SaveDatabase(w io.Writer, db *DB) error {
 	if db.fc != nil {
 		for _, k := range db.fc.hotKeys(fcWarmupLimit) {
 			img.FcKeys = append(img.FcKeys, fcWarmKey{
-				NodeKey: db.graph.Nodes[k.node].Key(db.graph.Dims),
+				NodeKey: db.graph.Node(k.node).Key(db.graph.Dims),
 				H:       k.h,
 				Conf:    k.conf,
 			})

@@ -364,7 +364,7 @@ func (db *DB) explainNode(id int) string {
 	}
 	keys := make([]string, len(sc.Sources))
 	for i, s := range sc.Sources {
-		keys[i] = db.graph.Nodes[s].Key(db.graph.Dims)
+		keys[i] = db.graph.Node(s).Key(db.graph.Dims)
 	}
 	return fmt.Sprintf("%s from [%s] weight %.6f", sc.Kind, strings.Join(keys, ", "), sc.K)
 }
@@ -452,8 +452,9 @@ func resolveGroupNodesIn(g *cube.Graph, stmt *selectStmt) ([]*cube.Node, []strin
 	// at the requested level.
 	var nodes []*cube.Node
 	var members []string
-	for _, n := range g.Nodes {
-		if n.Coord[groupDim].Level != groupLvl {
+	for id := 0; id < g.NumNodes(); id++ {
+		c := g.CoordOf(id)
+		if c[groupDim].Level != groupLvl {
 			continue
 		}
 		match := true
@@ -461,14 +462,14 @@ func resolveGroupNodesIn(g *cube.Graph, stmt *selectStmt) ([]*cube.Node, []strin
 			if d == groupDim {
 				continue
 			}
-			if n.Coord[d] != coord[d] {
+			if c[d] != coord[d] {
 				match = false
 				break
 			}
 		}
 		if match {
-			nodes = append(nodes, n)
-			members = append(members, n.Coord[groupDim].Value)
+			nodes = append(nodes, g.Node(id))
+			members = append(members, c[groupDim].Value)
 		}
 	}
 	if len(nodes) == 0 {

@@ -52,13 +52,13 @@ func SaveConfiguration(w io.Writer, cfg *core.Configuration) error {
 	img := configImage{TrainLen: cfg.TrainLen, CostSeconds: cfg.CostSeconds}
 	for id, sc := range cfg.Schemes {
 		row := ConfigRow{
-			NodeKey: cfg.Graph.Nodes[id].Key(dims),
+			NodeKey: cfg.Graph.Node(id).Key(dims),
 			Weight:  sc.K,
 			Kind:    int(sc.Kind),
 			Error:   cfg.Errors[id],
 		}
 		for _, s := range sc.Sources {
-			row.SourceKeys = append(row.SourceKeys, cfg.Graph.Nodes[s].Key(dims))
+			row.SourceKeys = append(row.SourceKeys, cfg.Graph.Node(s).Key(dims))
 		}
 		img.Config = append(img.Config, row)
 	}
@@ -68,7 +68,7 @@ func SaveConfiguration(w io.Writer, cfg *core.Configuration) error {
 			return fmt.Errorf("f2db: encoding model at node %d: %w", id, err)
 		}
 		img.Models = append(img.Models, ModelRow{
-			NodeKey:      cfg.Graph.Nodes[id].Key(dims),
+			NodeKey:      cfg.Graph.Node(id).Key(dims),
 			Blob:         buf.Bytes(),
 			CreationSecs: cfg.ModelSeconds[id],
 		})

@@ -40,18 +40,17 @@ func (v GraphView) NumBase() int { return len(v.db.graph.BaseIDs) }
 
 // IsBase reports whether the node is a base (finest-level) series.
 func (v GraphView) IsBase(id int) bool {
-	g := v.db.graph
-	return id >= 0 && id < len(g.Nodes) && g.Nodes[id].IsBase
+	return v.db.graph.IsBase(id)
 }
 
 // NodeKey returns the canonical coordinate key of a node ("" when out of
 // range).
 func (v GraphView) NodeKey(id int) string {
 	g := v.db.graph
-	if id < 0 || id >= len(g.Nodes) {
+	if id < 0 || id >= g.NumNodes() {
 		return ""
 	}
-	return g.Nodes[id].Key(g.Dims)
+	return g.KeyOf(id)
 }
 
 // Period returns the seasonal period of the node series.
@@ -67,12 +66,12 @@ func (v GraphView) Length() int {
 // NodeValues returns a copy of the node's stored history.
 func (v GraphView) NodeValues(id int) []float64 {
 	g := v.db.graph
-	if id < 0 || id >= len(g.Nodes) {
+	if id < 0 || id >= g.NumNodes() {
 		return nil
 	}
 	v.db.mu.RLock()
 	defer v.db.mu.RUnlock()
-	return append([]float64(nil), g.Nodes[id].Series.Values[:g.Length]...)
+	return append([]float64(nil), g.Node(id).Series.Values[:g.Length]...)
 }
 
 // ConfigView is a read-only view of the loaded model configuration.

@@ -92,7 +92,7 @@ func installModel(cfg *core.Configuration, factory forecast.Factory, id int, del
 // setNodeError assigns scheme and test error for a node given its derived
 // forecast.
 func setNodeError(cfg *core.Configuration, sc derivation.Scheme, fc []float64) {
-	e := timeseries.SMAPE(cfg.Graph.Nodes[sc.Target].Series.Values[cfg.TrainLen:], fc)
+	e := timeseries.SMAPE(cfg.Graph.Node(sc.Target).Series.Values[cfg.TrainLen:], fc)
 	if math.IsNaN(e) {
 		e = 1
 	}
@@ -108,7 +108,7 @@ func setNodeError(cfg *core.Configuration, sc derivation.Scheme, fc []float64) {
 func Direct(g *cube.Graph, opts Options) (*core.Configuration, error) {
 	opts = opts.withDefaults()
 	cfg := core.NewConfiguration(g, trainLen(g, opts.TrainRatio))
-	for id := range g.Nodes {
+	for id := 0; id < g.NumNodes(); id++ {
 		fc, err := installModel(cfg, opts.ModelFactory, id, opts.CreationDelay)
 		if err != nil {
 			return nil, err
@@ -135,7 +135,8 @@ func BottomUp(g *cube.Graph, opts Options) (*core.Configuration, error) {
 	}
 	h := cfg.TestLen()
 	incidence := g.BaseIncidence()
-	for id, n := range g.Nodes {
+	for id := 0; id < g.NumNodes(); id++ {
+		n := g.Node(id)
 		if n.IsBase {
 			continue
 		}
@@ -165,7 +166,7 @@ func TopDown(g *cube.Graph, opts Options) (*core.Configuration, error) {
 		return nil, err
 	}
 	setNodeError(cfg, derivation.DirectScheme(top), topFc)
-	for id := range g.Nodes {
+	for id := 0; id < g.NumNodes(); id++ {
 		if id == top {
 			continue
 		}
@@ -205,7 +206,7 @@ func Combine(g *cube.Graph, opts Options) (*core.Configuration, error) {
 		basePos[b] = j
 	}
 	incidence := g.BaseIncidence()
-	for id := range g.Nodes {
+	for id := 0; id < g.NumNodes(); id++ {
 		fc, err := installModel(cfg, opts.ModelFactory, id, opts.CreationDelay)
 		if err != nil {
 			return nil, err
@@ -243,7 +244,8 @@ func Combine(g *cube.Graph, opts Options) (*core.Configuration, error) {
 			reconciled[id][step] = rec[id]
 		}
 	}
-	for id, n := range g.Nodes {
+	for id := 0; id < g.NumNodes(); id++ {
+		n := g.Node(id)
 		sc := derivation.Scheme{Target: id, Sources: incidence[id], K: 1, Kind: derivation.General}
 		if n.IsBase {
 			sc = derivation.DirectScheme(id)
@@ -272,7 +274,7 @@ func Greedy(g *cube.Graph, opts Options) (*core.Configuration, error) {
 	models := make([]forecast.Model, nodes)
 	seconds := make([]float64, nodes)
 	var totalSeconds float64
-	for id := range g.Nodes {
+	for id := 0; id < g.NumNodes(); id++ {
 		m, d, err := fitNode(cfg, opts.ModelFactory, id, opts.CreationDelay)
 		if err != nil {
 			return nil, err
@@ -288,7 +290,7 @@ func Greedy(g *cube.Graph, opts Options) (*core.Configuration, error) {
 	// candidateErr evaluates, for a model at s, the error it would give
 	// target t under the traditional schemes.
 	testVals := func(t int) []float64 {
-		return g.Nodes[t].Series.Values[cfg.TrainLen:]
+		return g.Node(t).Series.Values[cfg.TrainLen:]
 	}
 	evalScheme := func(t int, sources []int) (derivation.Scheme, float64, bool) {
 		sc, err := derivation.NewScheme(g, t, sources, cfg.TrainLen)
@@ -342,11 +344,11 @@ func Greedy(g *cube.Graph, opts Options) (*core.Configuration, error) {
 			}
 			// Aggregation benefit for parents whose child edge would be
 			// completed by s.
-			for d, pid := range g.Nodes[s].ParentIDs {
+			for d, pid := range g.Node(s).ParentIDs {
 				if pid < 0 {
 					continue
 				}
-				edge := g.Nodes[pid].ChildEdges[d]
+				edge := g.Node(pid).ChildEdges[d]
 				complete := true
 				for _, c := range edge {
 					if c != s && !selected[c] {
@@ -388,11 +390,11 @@ func Greedy(g *cube.Graph, opts Options) (*core.Configuration, error) {
 				cfg.Errors[t] = e
 			}
 		}
-		for d, pid := range g.Nodes[s].ParentIDs {
+		for d, pid := range g.Node(s).ParentIDs {
 			if pid < 0 {
 				continue
 			}
-			edge := g.Nodes[pid].ChildEdges[d]
+			edge := g.Node(pid).ChildEdges[d]
 			complete := true
 			for _, c := range edge {
 				if !selected[c] {
@@ -422,13 +424,13 @@ func Greedy(g *cube.Graph, opts Options) (*core.Configuration, error) {
 // linear in the total number of (node, ancestor) pairs.
 func descendants(g *cube.Graph) [][]int {
 	out := make([][]int, g.NumNodes())
-	for id := range g.Nodes {
+	for id := 0; id < g.NumNodes(); id++ {
 		seen := map[int]bool{id: true}
 		queue := []int{id}
 		for len(queue) > 0 {
 			cur := queue[0]
 			queue = queue[1:]
-			for _, p := range g.Nodes[cur].ParentIDs {
+			for _, p := range g.Node(cur).ParentIDs {
 				if p < 0 || seen[p] {
 					continue
 				}
@@ -482,7 +484,7 @@ func CombineWLS(g *cube.Graph, opts Options) (*core.Configuration, error) {
 		basePos[b] = j
 	}
 	incidence := g.BaseIncidence()
-	for id := range g.Nodes {
+	for id := 0; id < g.NumNodes(); id++ {
 		m, d, err := fitNode(cfg, opts.ModelFactory, id, opts.CreationDelay)
 		if err != nil {
 			return nil, err
@@ -533,7 +535,8 @@ func CombineWLS(g *cube.Graph, opts Options) (*core.Configuration, error) {
 			reconciled[id][step] = rec[id]
 		}
 	}
-	for id, n := range g.Nodes {
+	for id := 0; id < g.NumNodes(); id++ {
+		n := g.Node(id)
 		sc := derivation.Scheme{Target: id, Sources: incidence[id], K: 1, Kind: derivation.General}
 		if n.IsBase {
 			sc = derivation.DirectScheme(id)

@@ -68,7 +68,8 @@ func TestBottomUpStructure(t *testing.T) {
 	}
 	// Aggregated nodes use aggregation schemes with weight 1 over base
 	// nodes.
-	for id, n := range g.Nodes {
+	for id := 0; id < g.NumNodes(); id++ {
+		n := g.Node(id)
 		sc := cfg.Schemes[id]
 		if n.IsBase {
 			if sc.Kind != derivation.Direct {

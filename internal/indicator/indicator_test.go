@@ -32,8 +32,8 @@ func testGraph(t *testing.T) *cube.Graph {
 func TestCombinedBounds(t *testing.T) {
 	g := testGraph(t)
 	cfg := DefaultConfig()
-	for s := range g.Nodes {
-		for tgt := range g.Nodes {
+	for s := 0; s < g.NumNodes(); s++ {
+		for tgt := 0; tgt < g.NumNodes(); tgt++ {
 			v := Combined(g, tgt, []int{s}, cfg)
 			if v < 0 || v > Worst {
 				t.Fatalf("Combined(%d←%d) = %v out of [0,1]", tgt, s, v)

@@ -40,12 +40,13 @@ func (w *Generator) RandomNode() int {
 }
 
 // QuerySQL renders a forecast query for the node in the engine's SQL
-// dialect.
+// dialect. It reads the coordinate from the graph skeleton (CoordOf), not
+// the node, so rendering queries against a lazy cube never materializes
+// the target — materialization happens in whichever engine answers.
 func (w *Generator) QuerySQL(nodeID, steps int) string {
-	n := w.g.Nodes[nodeID]
 	sql := "SELECT time, SUM(m) FROM facts"
 	first := true
-	for d, cell := range n.Coord {
+	for d, cell := range w.g.CoordOf(nodeID) {
 		dim := &w.g.Dims[d]
 		if cell.IsAll(dim) {
 			continue
@@ -79,7 +80,7 @@ func (w *Generator) InsertSQL(batch map[int]float64) string {
 			b.WriteString(", ")
 		}
 		b.WriteString("(")
-		for _, cell := range w.g.Nodes[id].Coord {
+		for _, cell := range w.g.CoordOf(id) {
 			b.WriteString("'")
 			b.WriteString(cell.Value)
 			b.WriteString("', ")
@@ -124,7 +125,7 @@ func SplitBatch(batch map[int]float64, n int) []map[int]float64 {
 func (w *Generator) NextBatch() map[int]float64 {
 	out := make(map[int]float64, len(w.g.BaseIDs))
 	for _, id := range w.g.BaseIDs {
-		s := w.g.Nodes[id].Series
+		s := w.g.Node(id).Series
 		n := s.Len()
 		lag := s.Period
 		if lag < 1 || lag > n {
