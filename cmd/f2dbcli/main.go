@@ -40,6 +40,7 @@ import (
 	"cubefc/internal/experiments"
 	"cubefc/internal/f2db"
 	"cubefc/internal/fclient"
+	"cubefc/internal/segment"
 	"cubefc/internal/workload"
 )
 
@@ -59,6 +60,9 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "worker pool size for off-lock model re-estimation (0 = GOMAXPROCS)")
 	eager := flag.Bool("eager-reestimate", false, "re-fit invalidated models right after the batch advance instead of lazily on first query")
 	coldRefit := flag.Bool("cold-refit", false, "disable warm-started re-estimation (full cold parameter search on every re-fit)")
+	walDir := flag.String("wal-dir", "", "durable directory (snapshot + write-ahead log + columnar segments); recovers on open, then group-commits every completed batch")
+	fsyncFlag := flag.String("fsync", "always", "WAL fsync policy with -wal-dir: always, never, or an integer n (fsync every n batches)")
+	compactEvery := flag.Int("compact-every", 256, "with -wal-dir: compact the sealed WAL span into a columnar segment every n batches (0 disables)")
 	remote := flag.String("remote", "", "connect to a running f2dbd at this address instead of opening a local engine")
 	execStmt := flag.String("exec", "", "execute one statement (SQL, \\ping, \\stats, \\info or \\save PATH) and exit")
 	wlPoints := flag.Int("workload", 0, "run the interleaved insert/query workload for this many time points instead of the REPL")
@@ -120,53 +124,94 @@ func main() {
 
 	var db *f2db.DB
 	var g *cube.Graph
+	var dur *f2db.Durable
 	name := *dataset
-	if *dbPath != "" {
-		fh, err := os.Open(*dbPath)
-		if err != nil {
-			fail(err)
+	// openLocal builds the in-process engine from -db / -csv / -dataset,
+	// setting g and name as it learns them. It doubles as OpenDurable's
+	// build function: with -wal-dir it only runs when the durable directory
+	// holds no snapshot yet.
+	openLocal := func() (*f2db.DB, error) {
+		if *dbPath != "" {
+			fh, err := os.Open(*dbPath)
+			if err != nil {
+				return nil, err
+			}
+			d, err := f2db.LoadDatabase(fh, engineOpts())
+			cerr := fh.Close()
+			if err != nil {
+				return nil, err
+			}
+			if cerr != nil {
+				return nil, cerr
+			}
+			fmt.Printf("opened %s: %d nodes, %d models\n", *dbPath, d.Graph().NumNodes(), d.Configuration().NumModels())
+			name = *dbPath
+			return d, nil
 		}
-		d, err := f2db.LoadDatabase(fh, engineOpts())
-		cerr := fh.Close()
-		if err != nil {
-			fail(err)
-		}
-		if cerr != nil {
-			fail(cerr)
-		}
-		fmt.Printf("opened %s: %d nodes, %d models\n", *dbPath, d.Graph().NumNodes(), d.Configuration().NumModels())
-		db, name = d, *dbPath
-	} else {
 		gg, gname, err := buildGraph(*dataset, *csvPath, *dimSpec, *period, *lazy)
 		if err != nil {
-			fail(err)
+			return nil, err
 		}
 		g, name = gg, gname
 		var cfg *core.Configuration
 		if *configPath != "" {
 			fh, err := os.Open(*configPath)
 			if err != nil {
-				fail(err)
+				return nil, err
 			}
 			cfg, err = f2db.LoadConfiguration(fh, g)
 			cerr := fh.Close()
 			if err != nil {
-				fail(err)
+				return nil, err
 			}
 			if cerr != nil {
-				fail(cerr)
+				return nil, cerr
 			}
 			fmt.Printf("loaded configuration: %d models\n", cfg.NumModels())
 		} else {
 			fmt.Print("running advisor ... ")
 			c, err := core.Run(g, core.Options{Seed: 42, SampleSize: *sampleSize, Exact: *exactMode})
 			if err != nil {
-				fail(err)
+				return nil, err
 			}
 			cfg = c
 			fmt.Printf("done: error=%.4f models=%d\n", cfg.Error(), cfg.NumModels())
 		}
-		d, err := f2db.Open(g, cfg, engineOpts())
+		return f2db.Open(g, cfg, engineOpts())
+	}
+	if *walDir != "" {
+		pol, err := segment.ParseSyncPolicy(*fsyncFlag)
+		if err != nil {
+			fail(err)
+		}
+		d, err := f2db.OpenDurable(
+			f2db.DurableOptions{Dir: *walDir, Sync: pol, CompactEvery: *compactEvery},
+			engineOpts(), openLocal)
+		if err != nil {
+			fail(err)
+		}
+		dur, db = d, d.DB()
+		rec := d.Recovery
+		if rec.FreshBuild {
+			fmt.Printf("durable dir %s initialized (snapshot at generation %d, fsync=%s)\n", *walDir, rec.SnapshotGen, pol)
+		} else {
+			name = *walDir
+			fmt.Printf("recovered %s: snapshot generation %d, %d segment + %d WAL batches replayed, %d torn bytes discarded\n",
+				*walDir, rec.SnapshotGen, rec.SegmentBatches, rec.WALBatches, rec.TornBytes)
+		}
+		// On any clean exit, checkpoint so the next open starts from a
+		// snapshot instead of replaying the session's whole WAL.
+		defer func() {
+			if err := dur.Checkpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "f2dbcli: checkpoint:", err)
+				return
+			}
+			if err := dur.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "f2dbcli: closing WAL:", err)
+			}
+		}()
+	} else {
+		d, err := openLocal()
 		if err != nil {
 			fail(err)
 		}
@@ -285,17 +330,11 @@ func printWorkload(res workload.RunResult) {
 	}
 }
 
-// saveDB snapshots the engine to path.
+// saveDB snapshots the engine to path through the shared crash-safe
+// protocol (tmp file, fsync, rename, directory fsync) — a \save that
+// returned without the syncs could still lose the file to a crash.
 func saveDB(db *f2db.DB, path string) error {
-	fh, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := f2db.SaveDatabase(fh, db); err != nil {
-		fh.Close()
-		return err
-	}
-	return fh.Close()
+	return f2db.WriteSnapshotFile(nil, path, db)
 }
 
 // localStmt executes one statement against the in-process engine.

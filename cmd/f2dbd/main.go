@@ -8,7 +8,14 @@
 //
 //	f2dbd -dataset tourism -addr :7071
 //	f2dbd -db snapshot.f2db -addr :7071 -metrics :9090 -save snapshot.f2db
+//	f2dbd -dataset tourism -wal-dir /var/lib/f2db -fsync always -compact-every 256
 //	f2dbd -coordinator -shards host1:7071,host2:7071 -dataset tourism -addr :7070
+//
+// With -wal-dir the daemon is crash-durable: on boot it recovers the
+// directory (snapshot, then columnar segments, then the WAL tail —
+// discarding a torn final record), and while serving it group-commits
+// every completed insert batch to the WAL before applying it. SIGTERM
+// checkpoints the directory after the drain.
 //
 // In -coordinator mode the daemon holds no engine: it routes statements
 // to the f2dbd shards listed in -shards (each serving a full replica of
@@ -38,6 +45,7 @@ import (
 	"cubefc/internal/core"
 	"cubefc/internal/experiments"
 	"cubefc/internal/f2db"
+	"cubefc/internal/segment"
 	"cubefc/internal/server"
 )
 
@@ -53,6 +61,9 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "worker pool size for off-lock model re-estimation (0 = GOMAXPROCS)")
 	eager := flag.Bool("eager-reestimate", false, "re-fit invalidated models right after the batch advance instead of lazily on first query")
 	coldRefit := flag.Bool("cold-refit", false, "disable warm-started re-estimation (full cold parameter search on every re-fit)")
+	walDir := flag.String("wal-dir", "", "durable directory (snapshot + write-ahead log + columnar segments); recovers on boot, then group-commits every completed batch")
+	fsyncFlag := flag.String("fsync", "always", "WAL fsync policy with -wal-dir: always, never, or an integer n (fsync every n batches)")
+	compactEvery := flag.Int("compact-every", 256, "with -wal-dir: compact the sealed WAL span into a columnar segment every n batches (0 disables)")
 	maxConns := flag.Int("max-conns", 0, "maximum concurrent client connections (0 = default 256)")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request processing timeout (0 = default 30s)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "idle connection timeout (0 = default 5m)")
@@ -73,6 +84,7 @@ func main() {
 
 	var (
 		db      *f2db.DB
+		dur     *f2db.Durable
 		co      *coord.Coordinator
 		srv     *server.Server
 		metrics []f2db.Collector
@@ -81,6 +93,9 @@ func main() {
 	if *coordinator {
 		if *shardsFlag == "" {
 			fail(fmt.Errorf("-coordinator requires -shards"))
+		}
+		if *walDir != "" {
+			fail(fmt.Errorf("-wal-dir needs a local engine; the shards own the data in coordinator mode"))
 		}
 		if *savePath != "" {
 			fail(fmt.Errorf("-save needs a local engine; the shards own the data in coordinator mode"))
@@ -101,16 +116,46 @@ func main() {
 		metrics = []f2db.Collector{co.Metrics().Collector(), srv.Metrics().Collector()}
 		name = fmt.Sprintf("%s across %d shards", gname, len(addrs))
 	} else {
-		var err error
-		db, name, err = openEngine(*dbPath, *dataset, *configPath, f2db.Options{
+		opts := f2db.Options{
 			Strategy:        f2db.TimeBased{Every: 8},
 			Stripes:         *stripes,
 			Parallelism:     *parallelism,
 			EagerReestimate: *eager,
 			ColdRefit:       *coldRefit,
-		})
-		if err != nil {
-			fail(err)
+		}
+		if *walDir != "" {
+			pol, err := segment.ParseSyncPolicy(*fsyncFlag)
+			if err != nil {
+				fail(err)
+			}
+			name = *walDir
+			d, err := f2db.OpenDurable(
+				f2db.DurableOptions{Dir: *walDir, Sync: pol, CompactEvery: *compactEvery},
+				opts,
+				func() (*f2db.DB, error) {
+					fresh, n, err := openEngine(*dbPath, *dataset, *configPath, opts)
+					if err == nil {
+						name = fmt.Sprintf("%s (durable in %s)", n, *walDir)
+					}
+					return fresh, err
+				})
+			if err != nil {
+				fail(err)
+			}
+			dur, db = d, d.DB()
+			rec := d.Recovery
+			if rec.FreshBuild {
+				logf("durable dir %s initialized (snapshot at generation %d, fsync=%s)", *walDir, rec.SnapshotGen, pol)
+			} else {
+				logf("recovered %s: snapshot generation %d, %d segment + %d WAL batches replayed, %d torn bytes discarded",
+					*walDir, rec.SnapshotGen, rec.SegmentBatches, rec.WALBatches, rec.TornBytes)
+			}
+		} else {
+			var err error
+			db, name, err = openEngine(*dbPath, *dataset, *configPath, opts)
+			if err != nil {
+				fail(err)
+			}
 		}
 		srv = server.New(db, srvOpts)
 	}
@@ -166,6 +211,18 @@ func main() {
 		cancel()
 		if co != nil {
 			_ = co.Close()
+		}
+		if dur != nil {
+			// Checkpoint after the drain: no request is in flight, so the
+			// snapshot captures exactly the served state, and the next boot
+			// starts from it with an empty WAL.
+			if err := dur.Checkpoint(); err != nil {
+				fail(fmt.Errorf("checkpoint: %w", err))
+			}
+			if err := dur.Close(); err != nil {
+				fail(fmt.Errorf("closing WAL: %w", err))
+			}
+			fmt.Printf("f2dbd: checkpointed durable dir %s\n", *walDir)
 		}
 		if *savePath != "" {
 			if err := saveSnapshot(*savePath, db); err != nil {
@@ -261,24 +318,13 @@ func openEngine(dbPath, dataset, configPath string, opts f2db.Options) (*f2db.DB
 	return db, ds.Name, nil
 }
 
-// saveSnapshot writes the engine image, replacing any existing file only
-// after a complete write (tmp + rename).
+// saveSnapshot writes the engine image through the shared crash-safe
+// protocol (tmp file, fsync, rename, directory fsync). The earlier bare
+// tmp+rename left two windows a crash could fall into — the renamed file's
+// blocks still unflushed, or the rename's directory entry itself lost —
+// both closed by WriteSnapshotFile.
 func saveSnapshot(path string, db *f2db.DB) error {
-	tmp := path + ".tmp"
-	fh, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := f2db.SaveDatabase(fh, db); err != nil {
-		fh.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := fh.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return f2db.WriteSnapshotFile(nil, path, db)
 }
 
 func fail(err error) {

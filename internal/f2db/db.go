@@ -172,6 +172,16 @@ type DB struct {
 
 	met engineMetrics
 
+	// commitHook, when non-nil, is the group-commit gate: advanceIfComplete
+	// calls it under the write lock with the complete batch and the
+	// generation it creates (the observation index it will occupy), BEFORE
+	// the stripe buffers are swept and the batch applied. The durability
+	// layer (durable.go) installs the WAL append here; an error refuses the
+	// advance with the stripes untouched, so the engine stays consistent and
+	// a later insert retries the commit. Installed once before any
+	// concurrency (OpenDurable) — never mutated on a live engine.
+	commitHook func(gen uint64, batch map[int]float64) error
+
 	// testHookAfterSweep, when non-nil, runs inside advanceIfComplete after
 	// the stripe sweep but before the pending counter is rebalanced — the
 	// window in which a lock-free insert can race an in-flight advance.
@@ -741,6 +751,10 @@ func (db *DB) advanceIfComplete() error {
 		db.unlock(g)
 		return nil
 	}
+	// Copy the batch without clearing first: a complete batch freezes the
+	// stripe buffers (every further insert for a held ID is a duplicate
+	// until the sweep below), so the two-pass copy-then-clear sees one
+	// stable image even though each stripe lock is taken twice.
 	batch := make(map[int]float64, numBases)
 	for i := range db.stripes {
 		s := &db.stripes[i]
@@ -748,6 +762,21 @@ func (db *DB) advanceIfComplete() error {
 		for id, v := range s.pending {
 			batch[id] = v
 		}
+		s.mu.Unlock()
+	}
+	// Group commit: the batch must be durable before it is applied. On
+	// error the stripes still hold every value — nothing advanced, nothing
+	// was lost, and the insert that triggered the advance reports the
+	// failure to its caller.
+	if db.commitHook != nil {
+		if err := db.commitHook(uint64(db.graph.Length), batch); err != nil {
+			db.unlock(g)
+			return err
+		}
+	}
+	for i := range db.stripes {
+		s := &db.stripes[i]
+		s.lock()
 		clear(s.pending)
 		s.depth.Store(0)
 		s.mu.Unlock()

@@ -112,6 +112,15 @@ func writePrometheus(w io.Writer, db *DB) {
 	gauge("f2db_forecast_cache_entries", "Memo entries currently held.", int64(m.ForecastCacheSize))
 	counter("f2db_epoch_bumps_total", "Node epoch increments by maintenance and re-estimation.", m.EpochBumps)
 
+	counter("f2db_wal_appends_total", "Batches appended to the write-ahead log.", m.WALAppends)
+	counter("f2db_wal_syncs_total", "WAL fsyncs issued.", m.WALSyncs)
+	counter("f2db_wal_bytes_total", "Bytes appended to the write-ahead log.", m.WALBytes)
+	gauge("f2db_wal_files", "WAL files currently on disk.", m.WALFiles)
+	counter("f2db_wal_replayed_batches_total", "Batches replayed from the WAL at open.", m.WALReplayedBatches)
+	counter("f2db_segment_compactions_total", "WAL spans compacted into columnar segments.", m.SegmentCompactions)
+	counter("f2db_segment_bytes_total", "Columnar segment bytes written.", m.SegmentBytes)
+	counter("f2db_snapshot_writes_total", "Crash-safe snapshot files written.", m.SnapshotWrites)
+
 	gauge("f2db_pending_inserts", "Values in the current incomplete batch.", int64(db.Stats().PendingInserts))
 	gauge("f2db_invalid_models", "Models awaiting re-estimation.", int64(db.InvalidCount()))
 

@@ -143,6 +143,19 @@ type engineMetrics struct {
 	fcBypasses    atomic.Int64
 	fcEvictions   atomic.Int64
 	epochBumps    atomic.Int64
+
+	// Durability counters (durable.go). The wal* values mirror the WAL's
+	// own counters after each commit; walReplayed counts batches recovered
+	// from the log at open; seg* count columnar compactions and their
+	// bytes; snapshotWrites counts crash-safe snapshot files written.
+	walAppends     atomic.Int64
+	walSyncs       atomic.Int64
+	walBytes       atomic.Int64
+	walFiles       atomic.Int64
+	walReplayed    atomic.Int64
+	segCompactions atomic.Int64
+	segBytes       atomic.Int64
+	snapshotWrites atomic.Int64
 }
 
 func (m *engineMetrics) recordQuery(d time.Duration) {
@@ -219,6 +232,19 @@ type Metrics struct {
 	StripeContention     []int64
 	StripeBases          []int
 	ForecastShardEntries []int
+
+	// Durability counters (zero on a non-durable engine): WAL record
+	// appends, fsyncs and bytes written, live WAL file count, batches
+	// replayed from the log at open, columnar segment compactions with
+	// their encoded bytes, and crash-safe snapshot writes.
+	WALAppends         int64
+	WALSyncs           int64
+	WALBytes           int64
+	WALFiles           int64
+	WALReplayedBatches int64
+	SegmentCompactions int64
+	SegmentBytes       int64
+	SnapshotWrites     int64
 }
 
 // Metrics returns a lock-free snapshot of the engine counters. Unlike
@@ -246,6 +272,15 @@ func (db *DB) Metrics() Metrics {
 		ForecastCacheBypasses:  db.met.fcBypasses.Load(),
 		ForecastCacheEvictions: db.met.fcEvictions.Load(),
 		EpochBumps:             db.met.epochBumps.Load(),
+
+		WALAppends:         db.met.walAppends.Load(),
+		WALSyncs:           db.met.walSyncs.Load(),
+		WALBytes:           db.met.walBytes.Load(),
+		WALFiles:           db.met.walFiles.Load(),
+		WALReplayedBatches: db.met.walReplayed.Load(),
+		SegmentCompactions: db.met.segCompactions.Load(),
+		SegmentBytes:       db.met.segBytes.Load(),
+		SnapshotWrites:     db.met.snapshotWrites.Load(),
 	}
 	if db.plans != nil {
 		m.PlanCacheSize = db.plans.len()
@@ -283,6 +318,12 @@ func (m Metrics) String() string {
 	out += fmt.Sprintf("forecast-cache: hits=%d misses=%d bypasses=%d evictions=%d size=%d epoch-bumps=%d\n",
 		m.ForecastCacheHits, m.ForecastCacheMisses, m.ForecastCacheBypasses,
 		m.ForecastCacheEvictions, m.ForecastCacheSize, m.EpochBumps)
+	if m.WALAppends > 0 || m.WALReplayedBatches > 0 || m.SnapshotWrites > 0 {
+		out += fmt.Sprintf("wal: appends=%d syncs=%d bytes=%d files=%d replayed=%d\n",
+			m.WALAppends, m.WALSyncs, m.WALBytes, m.WALFiles, m.WALReplayedBatches)
+		out += fmt.Sprintf("segments: compactions=%d bytes=%d snapshot-writes=%d\n",
+			m.SegmentCompactions, m.SegmentBytes, m.SnapshotWrites)
+	}
 	if m.WriteStripes > 0 {
 		var pending, contention int64
 		for _, p := range m.StripePending {

@@ -67,6 +67,14 @@ const fcWarmupLimit = 256
 func SaveDatabase(w io.Writer, db *DB) error {
 	g := db.rLock()
 	defer db.unlock(g)
+	return saveDatabaseLocked(w, db, g)
+}
+
+// saveDatabaseLocked is SaveDatabase under a caller-held engine lock
+// (shared or exclusive — the guard only witnesses that one is held). The
+// durability layer uses it to capture a snapshot and its generation under
+// a single exclusive acquisition, so no advance can slip between them.
+func saveDatabaseLocked(w io.Writer, db *DB, _ guard) error {
 	// Copy the in-flight batch under ALL stripe locks at once, acquired in
 	// index order (lock order: mu before any stripe mutex; nothing else
 	// ever holds two stripe locks, so ordered acquisition cannot deadlock).

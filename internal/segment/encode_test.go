@@ -1,0 +1,155 @@
+package segment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTripTimes(t *testing.T, times []int64) {
+	t.Helper()
+	enc := appendTimesDoD(nil, times)
+	d := &decoder{data: enc}
+	got, err := decodeTimesDoD(d, len(times))
+	if err != nil {
+		t.Fatalf("times %v: %v", times, err)
+	}
+	if d.off != len(enc) {
+		t.Fatalf("times %v: %d stray bytes", times, len(enc)-d.off)
+	}
+	if len(got) != len(times) {
+		t.Fatalf("times %v: decoded %d points", times, len(got))
+	}
+	for i := range times {
+		if got[i] != times[i] {
+			t.Fatalf("times %v: point %d decoded as %d", times, i, got[i])
+		}
+	}
+}
+
+func TestTimesDoDRoundTrip(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{0},
+		{42},
+		{-7},
+		{0, 1},
+		{0, 1, 2, 3, 4, 5, 6, 7},
+		{100, 90, 95, 95, 200, -50},
+		{math.MaxInt32, math.MaxInt32 + 1, math.MaxInt32 + 2},
+		{-1000, 0, 1000, 1},
+	}
+	for _, c := range cases {
+		roundTripTimes(t, c)
+	}
+}
+
+// TestTimesDoDRegularIsOneBytePerPoint pins the property compaction relies
+// on: consecutive batch generations (delta always 1) cost one byte per point
+// after the first two varints.
+func TestTimesDoDRegularIsOneBytePerPoint(t *testing.T) {
+	times := make([]int64, 100)
+	for i := range times {
+		times[i] = 36 + int64(i)
+	}
+	enc := appendTimesDoD(nil, times)
+	first := len(appendVarint(nil, times[0])) + len(appendVarint(nil, 1))
+	if want := first + len(times) - 2; len(enc) != want {
+		t.Fatalf("regular series encoded to %d bytes, want %d", len(enc), want)
+	}
+}
+
+func roundTripValues(t *testing.T, values []float64) {
+	t.Helper()
+	enc := appendValuesXOR(nil, values)
+	got, err := decodeValuesXOR(enc, len(values))
+	if err != nil {
+		t.Fatalf("values %v: %v", values, err)
+	}
+	if len(got) != len(values) {
+		t.Fatalf("values %v: decoded %d points", values, len(got))
+	}
+	for i := range values {
+		if math.Float64bits(got[i]) != math.Float64bits(values[i]) {
+			t.Fatalf("values: point %d decoded as %x, want %x (%v vs %v)",
+				i, math.Float64bits(got[i]), math.Float64bits(values[i]), got[i], values[i])
+		}
+	}
+}
+
+func TestValuesXORRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	walk := make([]float64, 64)
+	v := 100.0
+	for i := range walk {
+		v += rng.NormFloat64()
+		walk[i] = v
+	}
+	cases := [][]float64{
+		nil,
+		{0},
+		{3.25},
+		{1, 1, 1, 1, 1},
+		{0, math.Copysign(0, -1), 0},
+		{math.NaN(), math.Inf(1), math.Inf(-1), -math.MaxFloat64, math.SmallestNonzeroFloat64},
+		{1, 2, 4, 8, 16, 32},
+		walk,
+	}
+	for _, c := range cases {
+		roundTripValues(t, c)
+	}
+}
+
+// TestValuesXORQuickProperty holds the XOR codec to bit-exact round-trips on
+// arbitrary float columns, including the NaN payloads and subnormals quick
+// likes to generate.
+func TestValuesXORQuickProperty(t *testing.T) {
+	prop := func(values []float64) bool {
+		enc := appendValuesXOR(nil, values)
+		got, err := decodeValuesXOR(enc, len(values))
+		if err != nil || len(got) != len(values) {
+			return false
+		}
+		for i := range values {
+			if math.Float64bits(got[i]) != math.Float64bits(values[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(23))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValuesXORDecodeBounds(t *testing.T) {
+	enc := appendValuesXOR(nil, []float64{1, 2, 3, 4})
+	// A count the stream cannot hold is rejected up front.
+	if _, err := decodeValuesXOR(enc, len(enc)*8+2); err == nil {
+		t.Fatal("oversized count accepted")
+	}
+	if _, err := decodeValuesXOR(enc[:4], 1); err == nil {
+		t.Fatal("truncated first value accepted")
+	}
+	// Every truncation of the stream must error, not fabricate values.
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := decodeValuesXOR(enc[:cut], 4); err == nil {
+			t.Fatalf("truncation to %d bytes decoded 4 values", cut)
+		}
+	}
+}
+
+func TestTimesDoDDecodeBounds(t *testing.T) {
+	enc := appendTimesDoD(nil, []int64{10, 20, 30, 40})
+	for cut := 0; cut < len(enc); cut++ {
+		d := &decoder{data: enc[:cut]}
+		if _, err := decodeTimesDoD(d, 4); err == nil {
+			t.Fatalf("truncation to %d bytes decoded 4 timestamps", cut)
+		}
+	}
+	d := &decoder{data: []byte{0}}
+	if _, err := decodeTimesDoD(d, 1<<30); err == nil {
+		t.Fatal("oversized count accepted")
+	}
+}

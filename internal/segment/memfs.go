@@ -1,0 +1,364 @@
+package segment
+
+import (
+	"errors"
+	"fmt"
+	iofs "io/fs"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is an in-memory FS that models crash semantics precisely enough to
+// prove fsync placement: every file has live content (what reads and the
+// running process see) and durable content (what a crash preserves, i.e.
+// what has been fsynced), and every directory entry is likewise live until
+// SyncDir commits it. Crash() collapses the filesystem to its durable
+// image — unsynced appends vanish, renamed files revert, created-but-
+// unsynced entries disappear — which is exactly the adversary the WAL and
+// snapshot code must survive.
+//
+// Fault injection: SetWriteLimit arms a byte budget across all future
+// writes; once spent, writes persist a prefix and fail with ErrInjected,
+// producing torn records at any chosen offset. FlipBit corrupts one bit of
+// a file's durable image, modeling media corruption that fsync cannot
+// protect against. Clone snapshots the whole filesystem so a test can
+// branch one workload run into many crash points.
+//
+// MemFS is exported (not test-only) so the engine-level crash harness in
+// internal/f2db can drive the real OpenDurable path against it.
+type MemFS struct {
+	mu sync.Mutex
+	// inodes carry content; names bind to inodes. Live and durable
+	// namespaces bind independently (rename moves the live binding;
+	// SyncDir commits bindings per directory), while content durability is
+	// per inode (File.Sync).
+	live    map[string]*memInode
+	durable map[string]*memInode
+	dirs    map[string]bool // live directories (MkdirAll); always durable
+
+	// writeBudget < 0 disables injection; otherwise the number of bytes
+	// future writes may still persist before failing.
+	writeBudget int64
+}
+
+type memInode struct {
+	data    []byte // live content
+	synced  int    // prefix of data that survives a crash
+	durData []byte // content at last Sync (synced bytes, stable copy)
+}
+
+// ErrInjected is returned by writes that hit an armed fault.
+var ErrInjected = errors.New("segment: injected write fault")
+
+// NewMemFS returns an empty in-memory filesystem with fault injection
+// disarmed.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		live:        make(map[string]*memInode),
+		durable:     make(map[string]*memInode),
+		dirs:        map[string]bool{".": true, "": true, "/": true},
+		writeBudget: -1,
+	}
+}
+
+func clean(name string) string { return path.Clean(strings.ReplaceAll(name, "\\", "/")) }
+
+// SetWriteLimit arms the write fault: the next n bytes written (across all
+// files) succeed, then every write persists what fits in the remaining
+// budget and returns ErrInjected. n < 0 disarms.
+func (m *MemFS) SetWriteLimit(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.writeBudget = n
+}
+
+// FlipBit flips one bit in the durable image of name (bit 0-7 of the byte
+// at off), modeling on-media corruption. It also patches the live view so
+// subsequent reads see the damage without needing a crash.
+func (m *MemFS) FlipBit(name string, off int64, bit uint) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = clean(name)
+	ino, ok := m.live[name]
+	if !ok {
+		return fmt.Errorf("memfs: flipbit: %s: no such file", name)
+	}
+	if off < 0 || off >= int64(len(ino.data)) {
+		return fmt.Errorf("memfs: flipbit: %s: offset %d out of range", name, off)
+	}
+	ino.data[off] ^= 1 << (bit & 7)
+	if off < int64(len(ino.durData)) {
+		ino.durData[off] ^= 1 << (bit & 7)
+	}
+	return nil
+}
+
+// Crash collapses the filesystem to its durable image: the namespace
+// reverts to the last SyncDir per directory, and every file's content
+// reverts to its last Sync. Open Files keep writing into dropped inodes —
+// harmless, like a process writing to an unlinked file.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.live = make(map[string]*memInode, len(m.durable))
+	for name, ino := range m.durable {
+		m.live[name] = &memInode{
+			data:    append([]byte(nil), ino.durData...),
+			synced:  len(ino.durData),
+			durData: append([]byte(nil), ino.durData...),
+		}
+	}
+	m.durable = make(map[string]*memInode, len(m.live))
+	for name, ino := range m.live {
+		m.durable[name] = ino
+	}
+}
+
+// Clone returns a deep copy of the filesystem (live and durable state),
+// with fault injection disarmed on the copy. Tests branch one run into
+// many crash points with it.
+func (m *MemFS) Clone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := NewMemFS()
+	seen := make(map[*memInode]*memInode)
+	cp := func(ino *memInode) *memInode {
+		if ino == nil {
+			return nil
+		}
+		if d, ok := seen[ino]; ok {
+			return d
+		}
+		d := &memInode{
+			data:    append([]byte(nil), ino.data...),
+			synced:  ino.synced,
+			durData: append([]byte(nil), ino.durData...),
+		}
+		seen[ino] = d
+		return d
+	}
+	for name, ino := range m.live {
+		c.live[name] = cp(ino)
+	}
+	for name, ino := range m.durable {
+		c.durable[name] = cp(ino)
+	}
+	for d := range m.dirs {
+		c.dirs[d] = true
+	}
+	return c
+}
+
+// DurableLen returns the durable (crash-surviving) byte count of name, or
+// -1 when the file has no durable entry.
+func (m *MemFS) DurableLen(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.durable[clean(name)]
+	if !ok {
+		return -1
+	}
+	return int64(len(ino.durData))
+}
+
+func (m *MemFS) checkDir(name string) error {
+	dir := path.Dir(name)
+	if !m.dirs[dir] {
+		return fmt.Errorf("memfs: %s: directory %s does not exist", name, dir)
+	}
+	return nil
+}
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = clean(name)
+	if err := m.checkDir(name); err != nil {
+		return nil, err
+	}
+	ino := &memInode{}
+	m.live[name] = ino
+	return &memFile{fs: m, name: name, ino: ino}, nil
+}
+
+// Append implements FS.
+func (m *MemFS) Append(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = clean(name)
+	if err := m.checkDir(name); err != nil {
+		return nil, err
+	}
+	ino, ok := m.live[name]
+	if !ok {
+		ino = &memInode{}
+		m.live[name] = ino
+	}
+	return &memFile{fs: m, name: name, ino: ino}, nil
+}
+
+// ReadFile implements FS.
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.live[clean(name)]
+	if !ok {
+		return nil, fmt.Errorf("memfs: %s: %w", clean(name), iofs.ErrNotExist)
+	}
+	return append([]byte(nil), ino.data...), nil
+}
+
+// ReadDir implements FS.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = clean(dir)
+	if !m.dirs[dir] {
+		return nil, fmt.Errorf("memfs: %s: no such directory", dir)
+	}
+	var names []string
+	for name := range m.live {
+		if path.Dir(name) == dir {
+			names = append(names, path.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldname, newname = clean(oldname), clean(newname)
+	ino, ok := m.live[oldname]
+	if !ok {
+		return fmt.Errorf("memfs: rename %s: %w", oldname, iofs.ErrNotExist)
+	}
+	if err := m.checkDir(newname); err != nil {
+		return err
+	}
+	delete(m.live, oldname)
+	m.live[newname] = ino
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = clean(name)
+	if _, ok := m.live[name]; !ok {
+		return fmt.Errorf("memfs: remove %s: %w", name, iofs.ErrNotExist)
+	}
+	delete(m.live, name)
+	return nil
+}
+
+// Truncate implements FS.
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.live[clean(name)]
+	if !ok {
+		return fmt.Errorf("memfs: truncate %s: %w", clean(name), iofs.ErrNotExist)
+	}
+	if size < 0 || size > int64(len(ino.data)) {
+		return fmt.Errorf("memfs: truncate %s: size %d out of range", clean(name), size)
+	}
+	ino.data = ino.data[:size]
+	if ino.synced > int(size) {
+		ino.synced = int(size)
+	}
+	return nil
+}
+
+// MkdirAll implements FS.
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = clean(dir)
+	for d := dir; ; d = path.Dir(d) {
+		m.dirs[d] = true
+		if d == path.Dir(d) {
+			break
+		}
+	}
+	return nil
+}
+
+// SyncDir implements FS: commits the directory's live entries (creations,
+// renames, removals) to the durable namespace.
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = clean(dir)
+	for name := range m.durable {
+		if path.Dir(name) != dir {
+			continue
+		}
+		if _, ok := m.live[name]; !ok {
+			delete(m.durable, name)
+		}
+	}
+	for name, ino := range m.live {
+		if path.Dir(name) == dir {
+			m.durable[name] = ino
+		}
+	}
+	return nil
+}
+
+// memFile is the write handle over a MemFS inode.
+type memFile struct {
+	fs     *MemFS
+	name   string
+	ino    *memInode
+	closed bool
+}
+
+// Write appends to the file's live content, honoring the armed write
+// budget: bytes past the budget are dropped and ErrInjected returned, so a
+// "kill at offset" cuts a record exactly where the test aimed.
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, fmt.Errorf("memfs: write %s: file closed", f.name)
+	}
+	n := len(p)
+	if f.fs.writeBudget >= 0 {
+		if int64(n) > f.fs.writeBudget {
+			n = int(f.fs.writeBudget)
+		}
+		f.fs.writeBudget -= int64(n)
+	}
+	f.ino.data = append(f.ino.data, p[:n]...)
+	if n < len(p) {
+		return n, ErrInjected
+	}
+	return n, nil
+}
+
+// Sync commits the live content to the durable image.
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return fmt.Errorf("memfs: sync %s: file closed", f.name)
+	}
+	f.ino.synced = len(f.ino.data)
+	f.ino.durData = append(f.ino.durData[:0], f.ino.data...)
+	return nil
+}
+
+// Close implements File; closing never syncs (exactly like the OS).
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.closed = true
+	return nil
+}

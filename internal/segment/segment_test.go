@@ -1,0 +1,112 @@
+package segment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testSegment(t testing.TB) (Header, []Series, []byte) {
+	t.Helper()
+	hdr := Header{Fingerprint: 0xDEADBEEFCAFE, FromGen: 36, ToGen: 44}
+	rng := rand.New(rand.NewSource(3))
+	times := make([]int64, 8)
+	for i := range times {
+		times[i] = 36 + int64(i)
+	}
+	var series []Series
+	for _, key := range []string{"P1|C1", "P1|C2", "P2|C1", "P2|C2"} {
+		vals := make([]float64, len(times))
+		v := 50 + 50*rng.Float64()
+		for i := range vals {
+			v += rng.NormFloat64()
+			vals[i] = v
+		}
+		series = append(series, Series{Key: key, Times: times, Values: vals})
+	}
+	img, err := EncodeSegment(hdr, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hdr, series, img
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	hdr, series, img := testSegment(t)
+	got, out, err := DecodeSegment(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != hdr {
+		t.Fatalf("header %+v, want %+v", got, hdr)
+	}
+	if len(out) != len(series) {
+		t.Fatalf("%d series, want %d", len(out), len(series))
+	}
+	for i, s := range series {
+		if out[i].Key != s.Key {
+			t.Fatalf("series %d key %q, want %q", i, out[i].Key, s.Key)
+		}
+		for j := range s.Times {
+			if out[i].Times[j] != s.Times[j] {
+				t.Fatalf("series %q time %d: %d, want %d", s.Key, j, out[i].Times[j], s.Times[j])
+			}
+			if math.Float64bits(out[i].Values[j]) != math.Float64bits(s.Values[j]) {
+				t.Fatalf("series %q value %d not bit-identical", s.Key, j)
+			}
+		}
+	}
+}
+
+func TestSegmentEmpty(t *testing.T) {
+	hdr := Header{Fingerprint: 7, FromGen: 1, ToGen: 2}
+	img, err := EncodeSegment(hdr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, series, err := DecodeSegment(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != hdr || len(series) != 0 {
+		t.Fatalf("empty segment decoded as %+v, %d series", got, len(series))
+	}
+}
+
+func TestSegmentEncodeRejectsMismatchedColumns(t *testing.T) {
+	_, err := EncodeSegment(Header{}, []Series{{Key: "x", Times: []int64{1, 2}, Values: []float64{1}}})
+	if err == nil {
+		t.Fatal("mismatched column lengths accepted")
+	}
+}
+
+// TestSegmentEveryByteFlip corrupts every single byte of a valid image: the
+// decoder must reject each mutation (every byte is covered by the header
+// CRC, a block CRC, a frame length, or the trailer), and never panic.
+func TestSegmentEveryByteFlip(t *testing.T) {
+	_, _, img := testSegment(t)
+	for i := range img {
+		mut := append([]byte(nil), img...)
+		mut[i] ^= 0xFF
+		if _, _, err := DecodeSegment(mut); err == nil {
+			t.Fatalf("flip at byte %d of %d went undetected", i, len(img))
+		}
+	}
+}
+
+// TestSegmentEveryPrefix truncates the image at every length: all of them
+// must return a clean error.
+func TestSegmentEveryPrefix(t *testing.T) {
+	_, _, img := testSegment(t)
+	for cut := 0; cut < len(img); cut++ {
+		if _, _, err := DecodeSegment(img[:cut]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded", cut, len(img))
+		}
+	}
+}
+
+func TestSegmentSeriesBound(t *testing.T) {
+	if _, err := EncodeSegment(Header{}, make([]Series, maxSegmentSeries+1)); err == nil {
+		t.Fatal("series count over the format bound accepted")
+	}
+}
