@@ -71,6 +71,8 @@ func main() {
 	wlWriters := flag.Int("workload-writers", 1, "workload: concurrent insert streams (with -remote: writer connections)")
 	wlReaders := flag.Int("workload-readers", 1, "workload: reader connections (-remote only)")
 	wlSeed := flag.Int64("workload-seed", 1, "workload: generator seed")
+	wlHot := flag.Int("workload-hot", 0, "workload: draw queries from a fixed hot set of this many statements (0 = all-random; exercises result caches)")
+	wlHotFrac := flag.Float64("workload-hot-frac", 0.9, "workload: fraction of queries drawn from the hot set (with -workload-hot)")
 	flag.Parse()
 	engineOpts := func() f2db.Options {
 		return f2db.Options{
@@ -112,6 +114,8 @@ func main() {
 			QueriesPerInsert: *wlQueries,
 			Horizon:          *wlHorizon,
 			InsertWriters:    *wlWriters,
+			HotQueries:       *wlHot,
+			HotFraction:      *wlHotFrac,
 			RemoteAddr:       *remote,
 			RemoteReaders:    *wlReaders,
 		})
@@ -231,6 +235,8 @@ func main() {
 			QueriesPerInsert: *wlQueries,
 			Horizon:          *wlHorizon,
 			InsertWriters:    *wlWriters,
+			HotQueries:       *wlHot,
+			HotFraction:      *wlHotFrac,
 			UseSQL:           true,
 		})
 		if err != nil {

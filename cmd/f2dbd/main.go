@@ -22,7 +22,10 @@
 // the same data set) over the same wire protocol it serves, so clients
 // are indifferent to whether they talk to a shard or the coordinator.
 // The data set (or snapshot) is still loaded — for its hyper graph, which
-// the statement router resolves queries against.
+// the statement router resolves queries against. Repeated statements are
+// answered from an epoch-invalidated result cache without touching the
+// shards (-coord-cache, on by default; -coord-cache-size), and the
+// replicated statement log is bounded (-log-retain).
 //
 // On SIGTERM or SIGINT the daemon stops accepting connections, answers
 // every in-flight request, optionally saves a snapshot (-save), and exits
@@ -70,6 +73,9 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain deadline before in-flight connections are force-closed")
 	coordinator := flag.Bool("coordinator", false, "route statements to the -shards cluster instead of serving a local engine")
 	shardsFlag := flag.String("shards", "", "comma-separated f2dbd shard addresses (coordinator mode)")
+	coordCache := flag.Bool("coord-cache", true, "coordinator mode: serve repeated statements from the epoch-invalidated result cache instead of fanning out")
+	coordCacheSize := flag.Int("coord-cache-size", 1024, "coordinator mode: result cache and route memo capacity in statements")
+	coordLogRetain := flag.Int("log-retain", 0, "coordinator mode: statement-log entries retained for restart realignment (0 = default 4096, negative = unlimited)")
 	flag.Parse()
 
 	logf := func(format string, args ...any) {
@@ -108,7 +114,15 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		co, err = coord.New(planner, addrs, coord.Options{Logf: logf})
+		cacheSize := 0
+		if *coordCache {
+			cacheSize = *coordCacheSize
+		}
+		co, err = coord.New(planner, addrs, coord.Options{
+			CacheSize: cacheSize,
+			LogRetain: *coordLogRetain,
+			Logf:      logf,
+		})
 		if err != nil {
 			fail(err)
 		}

@@ -1,0 +1,225 @@
+package coord
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"cubefc/internal/f2db"
+)
+
+// The coordinator read fast path (DESIGN.md §12). Every query that reaches
+// the cluster tier otherwise pays a full wire fan-out — re-route, scatter,
+// gather — even when the identical statement was answered microseconds ago
+// and no write intervened. Real analytics traffic is dominated by a small
+// set of recurring statement templates, exactly the hit distribution a
+// statement-keyed cache exploits, so the coordinator keeps three layers in
+// front of the shards:
+//
+//  1. Result cache: an LRU keyed by the normalized statement text
+//     (f2db.NormalizeSQL — the same function the engine's plan cache keys
+//     by, so the tiers cannot disagree) holding the fully-merged Result.
+//     Each entry carries the coordinator's write epoch at fill time and is
+//     served only while the epoch is unchanged. The epoch is bumped when
+//     an Exec is appended to the statement log; because every write
+//     replicates to every full-replica shard, one global counter is the
+//     conservative, provably-correct invalidation granularity (per-
+//     partition epochs are the documented extension once partial-cube
+//     shards exist). A cached answer is therefore always the answer the
+//     uncached fan-out would produce at that epoch.
+//
+//  2. Singleflight coalescing: concurrent identical statements at the same
+//     epoch share one fan-out. The cache-miss thundering herd right after
+//     each write collapses to a single scatter-gather; every waiter gets
+//     the leader's result. A flight records the epoch it started under and
+//     admits only same-epoch waiters — a query that arrives after a newer
+//     write must not be served a fan-out that may predate it.
+//
+//  3. Route memo: the Planner.RouteQuery rewrite (member order, per-member
+//     sub-SQL) depends only on the immutable graph, so it is memoized
+//     without any epoch — even cold statements skip re-parse/re-route.
+//
+// Epoch/fill protocol. A lookup samples the epoch BEFORE consulting the
+// cache; a flight completes by filling the cache only if the epoch is
+// still the one it started under. The one racy window — a write appended
+// after the fill check but before a reader's lookup — is harmless: the
+// reader's own epoch sample then exceeds the entry's and the entry is
+// discarded (counted as an invalidation). Stale entries are dropped
+// lazily on lookup, never swept: a write costs one counter increment, not
+// a cache scan.
+//
+// Cached *f2db.Result values are shared by every hit and must be treated
+// as immutable by callers — the wire server only encodes them, and the
+// engine's own results are already shared read-only structures.
+
+// resultEntry is one cached statement answer, valid while the
+// coordinator's write epoch equals epoch.
+type resultEntry struct {
+	key   string
+	epoch uint64
+	res   *f2db.Result
+}
+
+// flight is one in-progress fan-out that concurrent identical statements
+// at the same epoch wait on instead of fanning out themselves.
+type flight struct {
+	epoch uint64
+	done  chan struct{}
+	res   *f2db.Result
+	err   error
+}
+
+// routeEntry is one memoized statement rewrite.
+type routeEntry struct {
+	key   string
+	route *f2db.Route
+}
+
+// readCache is the coordinator's statement-keyed read fast path: result
+// LRU + singleflight table + route memo. It is safe for concurrent use.
+type readCache struct {
+	epoch *atomic.Uint64 // the coordinator's write epoch (owned by Coordinator.Exec)
+	met   *Metrics
+
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	flights map[string]*flight
+
+	rmu    sync.Mutex
+	rll    *list.List
+	ritems map[string]*list.Element
+}
+
+// newReadCache sizes both LRUs at capacity (>= 1).
+func newReadCache(capacity int, epoch *atomic.Uint64, met *Metrics) *readCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &readCache{
+		epoch:   epoch,
+		met:     met,
+		cap:     capacity,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element, capacity),
+		flights: make(map[string]*flight),
+		rll:     list.New(),
+		ritems:  make(map[string]*list.Element, capacity),
+	}
+}
+
+// routeFor returns the memoized route for the normalized key, planning and
+// memoizing on first sight. Planning errors are returned uncached — they
+// are not on the hot path, and the rejection text must keep matching the
+// planner's (and thus the engine's) byte-for-byte.
+func (rc *readCache) routeFor(key, sql string, p *f2db.Planner) (*f2db.Route, error) {
+	rc.rmu.Lock()
+	if el, ok := rc.ritems[key]; ok {
+		rc.rll.MoveToFront(el)
+		route := el.Value.(*routeEntry).route
+		rc.rmu.Unlock()
+		rc.met.RouteMemoHits.Add(1)
+		return route, nil
+	}
+	rc.rmu.Unlock()
+	route, err := p.RouteQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	rc.rmu.Lock()
+	if _, ok := rc.ritems[key]; !ok {
+		if rc.rll.Len() >= rc.cap {
+			if oldest := rc.rll.Back(); oldest != nil {
+				rc.rll.Remove(oldest)
+				delete(rc.ritems, oldest.Value.(*routeEntry).key)
+			}
+		}
+		rc.ritems[key] = rc.rll.PushFront(&routeEntry{key: key, route: route})
+	}
+	rc.rmu.Unlock()
+	return route, nil
+}
+
+// result serves the statement from the cache when its entry is current,
+// joins an in-progress same-epoch fan-out when one exists, and otherwise
+// runs fetch (the real fan-out) as the flight leader, publishing the
+// answer to its waiters and — if no write intervened — to the cache.
+func (rc *readCache) result(key string, fetch func() (*f2db.Result, error)) (*f2db.Result, error) {
+	for {
+		// Sample the epoch before consulting the cache: an entry or flight
+		// is usable only if it belongs to this (or a later-sampled) world.
+		e := rc.epoch.Load()
+		rc.mu.Lock()
+		if el, ok := rc.items[key]; ok {
+			ent := el.Value.(*resultEntry)
+			if ent.epoch == e {
+				rc.ll.MoveToFront(el)
+				rc.mu.Unlock()
+				rc.met.CacheHits.Add(1)
+				return ent.res, nil
+			}
+			// A write landed since the fill; drop the stale entry lazily.
+			rc.ll.Remove(el)
+			delete(rc.items, key)
+			rc.met.CacheInvalidations.Add(1)
+		}
+		if f, ok := rc.flights[key]; ok {
+			if f.epoch == e {
+				rc.mu.Unlock()
+				rc.met.CacheCoalesced.Add(1)
+				<-f.done
+				return f.res, f.err
+			}
+			// A fan-out from an older epoch is still in flight; its answer
+			// may predate writes this query must observe. Wait it out and
+			// retry rather than racing a second flight under the same key.
+			rc.mu.Unlock()
+			<-f.done
+			continue
+		}
+		f := &flight{epoch: e, done: make(chan struct{})}
+		rc.flights[key] = f
+		rc.mu.Unlock()
+		rc.met.CacheMisses.Add(1)
+
+		f.res, f.err = fetch()
+
+		rc.mu.Lock()
+		if rc.flights[key] == f {
+			delete(rc.flights, key)
+		}
+		// Fill only when no write was appended during the fan-out: if one
+		// was, the shards may have answered before or after applying it,
+		// so the result is correct for this caller (a query racing a write
+		// may see either side) but must not speak for the new epoch.
+		if f.err == nil && rc.epoch.Load() == e {
+			if el, ok := rc.items[key]; ok {
+				ent := el.Value.(*resultEntry)
+				ent.epoch, ent.res = e, f.res
+				rc.ll.MoveToFront(el)
+			} else {
+				if rc.ll.Len() >= rc.cap {
+					if oldest := rc.ll.Back(); oldest != nil {
+						rc.ll.Remove(oldest)
+						delete(rc.items, oldest.Value.(*resultEntry).key)
+						rc.met.CacheEvictions.Add(1)
+					}
+				}
+				rc.items[key] = rc.ll.PushFront(&resultEntry{key: key, epoch: e, res: f.res})
+			}
+		}
+		rc.mu.Unlock()
+		close(f.done)
+		return f.res, f.err
+	}
+}
+
+// len reports the live result-entry count (stats; stale entries linger
+// until their key is next looked up, so this is an upper bound on
+// servable entries).
+func (rc *readCache) len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.ll.Len()
+}

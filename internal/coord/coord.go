@@ -18,22 +18,31 @@
 // reads fault-tolerant: if an owner is down or lagging, the query fails
 // over to the next caught-up shard in ring order.
 //
-// Writes and recovery. Every INSERT is appended to an ordered in-memory
-// statement log; one worker per shard applies the log strictly in order
-// over its fclient. Exec returns once at least one shard applied the
-// statement (and every other shard either applied it or is marked down);
-// a shard that drops mid-stream keeps its cursor and replays the tail on
+// Writes and recovery. Every INSERT is appended to an ordered statement
+// log; one worker per shard applies the log strictly in order over its
+// fclient. Exec returns once at least one shard applied the statement
+// (and every other shard either applied it or is marked down); a shard
+// that drops mid-stream keeps its cursor and replays the tail on
 // reconnect. A restarted shard is detected by the server's start nonce
 // (wire.TInfo) and realigned: its engine rebuilt from the snapshot reports
-// how many rows it has applied, and the cursor resumes at the matching
-// statement boundary — a fresh restart replays the full log, which is
-// deterministic, so the replica converges to the exact same state.
+// how many rows it has applied (snapshots persist the counter), and the
+// cursor resumes at the matching statement boundary, replaying only the
+// tail — deterministic, so the replica converges to the exact same state.
+// The log is bounded: entries applied by every participating shard are
+// trimmed past a retention window (Options.LogRetain), and a restart
+// whose applied count falls behind the trim horizon is fenced dead.
+//
+// Reads have a statement-keyed fast path (cache.go): a result cache
+// invalidated by the write epoch, singleflight coalescing of identical
+// concurrent misses, and a route memo — hot statements skip the shard
+// fan-out entirely (Options.CacheSize, f2dbd -coord-cache).
 package coord
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cubefc/internal/f2db"
@@ -78,6 +87,20 @@ type Options struct {
 	// MaxFanout caps concurrent sub-queries per drill-down statement.
 	// Default 8.
 	MaxFanout int
+	// CacheSize enables the read fast path (cache.go): an LRU of fully
+	// merged query results keyed by normalized statement text and
+	// invalidated by write epoch, with singleflight coalescing and a route
+	// memo of the same capacity. 0 disables caching entirely — every query
+	// pays the shard fan-out.
+	CacheSize int
+	// LogRetain bounds the retained statement log: entries applied by
+	// every non-dead shard are trimmed once more than LogRetain of them
+	// are retained, keeping a realignment window for restarting shards
+	// behind the newest writes. A shard that restarts with an applied-row
+	// count older than the trim horizon is fenced (marked dead). 0 selects
+	// the default 4096; negative retains the full log (no trimming).
+	// Entries a down-but-not-dead shard still needs are never trimmed.
+	LogRetain int
 	// Logf, when non-nil, receives shard lifecycle diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -92,6 +115,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.MaxFanout <= 0 {
 		out.MaxFanout = 8
+	}
+	if out.LogRetain == 0 {
+		out.LogRetain = 4096
 	}
 	return out
 }
@@ -135,13 +161,35 @@ type Coordinator struct {
 	opts    Options
 	met     *Metrics
 
+	// epoch is the write epoch: incremented whenever an Exec appends to
+	// the statement log. The read cache serves an entry only while the
+	// epoch matches its fill-time value (cache.go); cache may be nil
+	// (caching disabled).
+	epoch atomic.Uint64
+	cache *readCache
+
 	mu     sync.Mutex
 	cond   *sync.Cond
 	log    []*logEntry
-	shards []*shard
-	closed bool
-	wg     sync.WaitGroup
+	// trimBase is the absolute index of log[0]: trimmed entries advance
+	// it instead of renumbering, so shard cursors and Exec bookkeeping
+	// stay absolute. trimRows is the cumulative row count through the
+	// last trimmed entry — the trim horizon a restarting shard's applied
+	// count is fenced against.
+	trimBase int
+	trimRows uint64
+	shards   []*shard
+	closed   bool
+	wg       sync.WaitGroup
 }
+
+// logLen is the absolute log length (entries ever appended). Callers hold
+// c.mu.
+func (c *Coordinator) logLen() int { return c.trimBase + len(c.log) }
+
+// entry returns the log entry at absolute index i. Callers hold c.mu and
+// guarantee trimBase <= i < logLen().
+func (c *Coordinator) entry(i int) *logEntry { return c.log[i-c.trimBase] }
 
 // New connects to the shards and starts their replay workers. The planner
 // must be built over the same hyper graph (and step duration) the shards
@@ -159,6 +207,9 @@ func New(planner *f2db.Planner, addrs []string, opts Options) (*Coordinator, err
 		met:     newMetrics(addrs),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	if opts.CacheSize > 0 {
+		c.cache = newReadCache(opts.CacheSize, &c.epoch, c.met)
+	}
 	for i, addr := range addrs {
 		s := &shard{idx: i, addr: addr}
 		cl, err := fclient.Dial(addr, opts.Client)
@@ -230,13 +281,18 @@ func (c *Coordinator) Exec(sql string) error {
 		c.mu.Unlock()
 		return ErrClosed
 	}
-	var prev uint64
+	prev := c.trimRows
 	if n := len(c.log); n > 0 {
 		prev = c.log[n-1].cumRows
 	}
 	e := &logEntry{sql: sql, rows: rows, cumRows: prev + uint64(rows)}
-	idx := len(c.log)
+	idx := c.logLen()
 	c.log = append(c.log, e)
+	// Bump the write epoch under the same lock hold as the append: any
+	// query that samples the new epoch fans out (queryNode only accepts a
+	// shard caught up with the grown log), so no cached pre-write answer
+	// can be served to a caller that issued its query after Exec returned.
+	c.epoch.Add(1)
 	c.cond.Broadcast()
 	for {
 		if c.closed {
@@ -277,7 +333,7 @@ func (c *Coordinator) runShard(s *shard) {
 	defer c.wg.Done()
 	for {
 		c.mu.Lock()
-		for !c.closed && !s.down && !s.dead && s.cursor >= len(c.log) {
+		for !c.closed && !s.down && !s.dead && s.cursor >= c.logLen() {
 			c.cond.Wait()
 		}
 		if c.closed || s.dead {
@@ -292,7 +348,7 @@ func (c *Coordinator) runShard(s *shard) {
 			continue
 		}
 		idx := s.cursor
-		e := c.log[idx]
+		e := c.entry(idx)
 		c.mu.Unlock()
 
 		start := time.Now()
@@ -306,6 +362,7 @@ func (c *Coordinator) runShard(s *shard) {
 		case err == nil:
 			s.cursor = idx + 1
 			e.applied++
+			c.maybeTrimLocked()
 		case errors.Is(err, fclient.ErrClosed):
 			// Coordinator shutdown closed the client under us; the loop head
 			// exits on the closed flag after the broadcast below.
@@ -322,6 +379,7 @@ func (c *Coordinator) runShard(s *shard) {
 			} else {
 				sm.ReplayRejects.Add(1)
 			}
+			c.maybeTrimLocked()
 		default:
 			sm.Errors.Add(1)
 			c.markDownLocked(s, err)
@@ -329,6 +387,40 @@ func (c *Coordinator) runShard(s *shard) {
 		c.cond.Broadcast()
 		c.mu.Unlock()
 	}
+}
+
+// maybeTrimLocked drops log entries that every shard still participating
+// in replay has passed, keeping a LogRetain-entry realignment window
+// behind the newest write. Trimming advances trimBase/trimRows instead of
+// renumbering, so absolute cursors and cumRows boundaries are untouched;
+// down shards hold the horizon at their frozen cursor (they resume from
+// it on recovery), and only dead shards are ignored. Callers hold c.mu.
+func (c *Coordinator) maybeTrimLocked() {
+	if c.opts.LogRetain < 0 {
+		return
+	}
+	trimTo := c.logLen() - c.opts.LogRetain
+	for _, s := range c.shards {
+		if s.dead {
+			continue
+		}
+		if s.cursor < trimTo {
+			trimTo = s.cursor
+		}
+	}
+	if trimTo <= c.trimBase {
+		return
+	}
+	k := trimTo - c.trimBase
+	c.trimRows = c.log[k-1].cumRows
+	// Nil the dropped slots so the entries free immediately; the head of
+	// the backing array is reclaimed when append next reallocates.
+	for i := 0; i < k; i++ {
+		c.log[i] = nil
+	}
+	c.log = c.log[k:]
+	c.trimBase = trimTo
+	c.met.LogTrimmed.Add(int64(k))
 }
 
 // markDownLocked transitions a shard to the down state (idempotent).
@@ -376,8 +468,17 @@ func (c *Coordinator) recoverShard(s *shard) bool {
 			if !ok {
 				s.dead = true
 				c.met.ShardsDead.Add(1)
-				c.logf("shard %d (%s): restarted with unalignable insert count %d; abandoned",
-					s.idx, s.addr, info.Inserts)
+				c.met.ShardsDown.Add(-1) // dead, no longer reconnecting
+				if info.Inserts < c.trimRows {
+					// Fenced: the entries this shard would need to replay
+					// were trimmed. It cannot converge by log replay alone
+					// (snapshot shipping is the documented extension).
+					c.logf("shard %d (%s): restarted with insert count %d behind the trim horizon (%d rows trimmed); fenced",
+						s.idx, s.addr, info.Inserts, c.trimRows)
+				} else {
+					c.logf("shard %d (%s): restarted with unalignable insert count %d; abandoned",
+						s.idx, s.addr, info.Inserts)
+				}
 				c.cond.Broadcast()
 				c.mu.Unlock()
 				return false
@@ -396,21 +497,26 @@ func (c *Coordinator) recoverShard(s *shard) bool {
 	}
 }
 
-// realignLocked maps an engine's applied-row counter to the log index of
-// the next statement to apply. Counts that fall inside a statement (a
-// partial apply, impossible for deterministic replicas) or beyond the log
-// are unalignable. Callers hold c.mu.
+// realignLocked maps an engine's applied-row counter to the absolute log
+// index of the next statement to apply. Snapshots persist the counter, so
+// a shard restarted from a mid-history snapshot reports exactly the rows
+// its image contains and lands on the matching statement boundary. Counts
+// that fall inside a statement (a partial apply, impossible for
+// deterministic replicas), beyond the log, or behind the trim horizon
+// (the entries it would need are gone) are unalignable. Callers hold c.mu.
 func (c *Coordinator) realignLocked(inserts uint64) (int, bool) {
-	// A restarted shard's engine may also carry rows from before this
-	// coordinator's log (a snapshot taken mid-history); those are not
-	// distinguishable here, so alignment is against the log alone: valid
-	// boundaries are 0 (fresh) and each entry's cumRows.
-	if inserts == 0 {
-		return 0, true
+	// Valid boundaries are the trim horizon itself and each retained
+	// entry's cumRows; with an untrimmed log the horizon is 0 rows at
+	// entry 0, i.e. a fresh restart replaying everything.
+	if inserts == c.trimRows {
+		return c.trimBase, true
+	}
+	if inserts < c.trimRows {
+		return 0, false
 	}
 	for i, e := range c.log {
 		if e.cumRows == inserts {
-			return i + 1, true
+			return c.trimBase + i + 1, true
 		}
 		if e.cumRows > inserts {
 			return 0, false
@@ -426,12 +532,34 @@ func (c *Coordinator) realignLocked(inserts uint64) (int, bool) {
 // node's owner; drill-downs scatter per-member sub-queries to each
 // member's owner and gather the groups in member order. Rejections carry
 // the exact engine error a single process would produce.
+//
+// With Options.CacheSize set, hot statements never touch the shards: the
+// route comes from the memo and the merged result from the epoch-guarded
+// result cache, with concurrent identical misses coalesced into one
+// fan-out (cache.go).
 func (c *Coordinator) Query(sql string) (*f2db.Result, error) {
-	route, err := c.planner.RouteQuery(sql)
+	if c.cache == nil {
+		route, err := c.planner.RouteQuery(sql)
+		if err != nil {
+			return nil, err
+		}
+		c.met.Queries.Add(1)
+		return c.runRoute(route, sql)
+	}
+	key := f2db.NormalizeSQL(sql)
+	route, err := c.cache.routeFor(key, sql, c.planner)
 	if err != nil {
 		return nil, err
 	}
 	c.met.Queries.Add(1)
+	return c.cache.result(key, func() (*f2db.Result, error) {
+		return c.runRoute(route, sql)
+	})
+}
+
+// runRoute executes a planned route against the shards: the uncached
+// fan-out path, and the fetch function behind every cache miss.
+func (c *Coordinator) runRoute(route *f2db.Route, sql string) (*f2db.Result, error) {
 	if route.Explain || len(route.Nodes) == 1 {
 		return c.queryNode(route.Nodes[0], sql)
 	}
@@ -565,7 +693,7 @@ func (c *Coordinator) waitProgress() {
 func (c *Coordinator) servable(s *shard) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return !s.down && !s.dead && s.cursor == len(c.log)
+	return !s.down && !s.dead && s.cursor == c.logLen()
 }
 
 // CaughtUp reports whether every live shard has applied the entire
@@ -577,7 +705,7 @@ func (c *Coordinator) CaughtUp() bool {
 		if s.dead {
 			continue
 		}
-		if s.down || s.cursor != len(c.log) {
+		if s.down || s.cursor != c.logLen() {
 			return false
 		}
 	}
@@ -593,11 +721,18 @@ func (c *Coordinator) StatsText() string {
 	var b []byte
 	servable := 0
 	for _, s := range c.shards {
-		if !s.down && !s.dead && s.cursor == len(c.log) {
+		if !s.down && !s.dead && s.cursor == c.logLen() {
 			servable++
 		}
 	}
-	b = fmt.Appendf(b, "coordinator shards=%d servable=%d log=%d\n", len(c.shards), servable, len(c.log))
+	b = fmt.Appendf(b, "coordinator shards=%d servable=%d log=%d retained=%d trimmed=%d\n",
+		len(c.shards), servable, c.logLen(), len(c.log), c.trimBase)
+	if c.cache != nil {
+		b = fmt.Appendf(b, "cache: hits=%d misses=%d coalesced=%d evictions=%d invalidations=%d route-hits=%d size=%d epoch=%d\n",
+			c.met.CacheHits.Load(), c.met.CacheMisses.Load(), c.met.CacheCoalesced.Load(),
+			c.met.CacheEvictions.Load(), c.met.CacheInvalidations.Load(),
+			c.met.RouteMemoHits.Load(), c.cache.len(), c.epoch.Load())
+	}
 	for _, s := range c.shards {
 		state := "up"
 		switch {
@@ -605,12 +740,12 @@ func (c *Coordinator) StatsText() string {
 			state = "dead"
 		case s.down:
 			state = "down"
-		case s.cursor < len(c.log):
+		case s.cursor < c.logLen():
 			state = "lagging"
 		}
 		sm := &c.met.Shards[s.idx]
 		b = fmt.Appendf(b, "shard %d addr=%s state=%s cursor=%d/%d requests=%d errors=%d\n",
-			s.idx, s.addr, state, s.cursor, len(c.log), sm.Requests.Load(), sm.Errors.Load())
+			s.idx, s.addr, state, s.cursor, c.logLen(), sm.Requests.Load(), sm.Errors.Load())
 	}
 	return string(b)
 }
@@ -624,7 +759,7 @@ func (c *Coordinator) Counts() (inserts, batches uint64) {
 	if n := len(c.log); n > 0 {
 		return c.log[n-1].cumRows, 0
 	}
-	return 0, 0
+	return c.trimRows, 0
 }
 
 func (c *Coordinator) logf(format string, args ...any) {

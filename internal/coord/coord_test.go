@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"net"
@@ -75,9 +76,12 @@ func loadEngine(t testing.TB, data []byte, stripes int) *f2db.DB {
 	return db
 }
 
-// testShard is one in-process f2dbd replica.
+// testShard is one in-process f2dbd replica. The engine is retained so
+// tests can snapshot a shard mid-history (the trim regression restarts a
+// shard from such a snapshot).
 type testShard struct {
 	addr string
+	db   *f2db.DB
 	srv  *server.Server
 	done chan error
 }
@@ -103,7 +107,17 @@ func startShardOn(t testing.TB, data []byte, addr string) *testShard {
 	}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
-	return &testShard{addr: ln.Addr().String(), srv: srv, done: done}
+	return &testShard{addr: ln.Addr().String(), db: db, srv: srv, done: done}
+}
+
+// batchInsertSQL renders one full 8-row insert batch (a complete time
+// advance for the twin-test cube) with values derived from v, so
+// successive batches carry distinct observations.
+func batchInsertSQL(v int) string {
+	return fmt.Sprintf("INSERT INTO facts VALUES "+
+		"('P1','C1',%d), ('P1','C2',%d), ('P1','C3',%d), ('P1','C4',%d), "+
+		"('P2','C1',%d), ('P2','C2',%d), ('P2','C3',%d), ('P2','C4',%d)",
+		v+1, v+2, v+3, v+4, v+5, v+6, v+7, v+8)
 }
 
 // stop shuts the shard down, abandoning its engine — the restart path
@@ -225,6 +239,36 @@ func TestRealign(t *testing.T) {
 		cur, ok := c.realignLocked(tc.inserts)
 		if ok != tc.ok || (ok && cur != tc.cursor) {
 			t.Fatalf("realign(%d) = (%d, %v), want (%d, %v)", tc.inserts, cur, ok, tc.cursor, tc.ok)
+		}
+	}
+
+	// Trimmed log: the first two entries (through cumRows 8) are gone.
+	// Valid boundaries are the trim horizon itself and each retained
+	// entry's cumRows; anything behind the horizon is fenced.
+	c = &Coordinator{
+		trimBase: 2,
+		trimRows: 8,
+		log: []*logEntry{
+			{rows: 8, cumRows: 16},
+			{rows: 4, cumRows: 20},
+		},
+	}
+	for _, tc := range []struct {
+		inserts uint64
+		cursor  int
+		ok      bool
+	}{
+		{8, 2, true},   // exactly at the horizon: replay the retained tail
+		{16, 3, true},  // retained boundary
+		{20, 4, true},  // fully caught up
+		{0, 0, false},  // behind the horizon: needed entries were trimmed
+		{4, 0, false},  // behind the horizon, mid-trimmed-history
+		{12, 0, false}, // inside a retained entry
+		{24, 0, false}, // beyond the log
+	} {
+		cur, ok := c.realignLocked(tc.inserts)
+		if ok != tc.ok || (ok && cur != tc.cursor) {
+			t.Fatalf("trimmed realign(%d) = (%d, %v), want (%d, %v)", tc.inserts, cur, ok, tc.cursor, tc.ok)
 		}
 	}
 }

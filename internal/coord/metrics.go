@@ -27,6 +27,23 @@ type Metrics struct {
 	// Failovers counts queries answered by a non-owner shard.
 	Failovers atomic.Int64
 
+	// Read fast path (cache.go): statements answered from the result
+	// cache without touching a shard, fan-outs actually performed on a
+	// miss, concurrent identical statements coalesced onto an in-flight
+	// fan-out, LRU evictions, entries discarded because a write bumped
+	// the epoch since their fill, and statements whose routing came from
+	// the memo instead of a re-parse.
+	CacheHits          atomic.Int64
+	CacheMisses        atomic.Int64
+	CacheCoalesced     atomic.Int64
+	CacheEvictions     atomic.Int64
+	CacheInvalidations atomic.Int64
+	RouteMemoHits      atomic.Int64
+
+	// LogTrimmed counts statement-log entries dropped after every
+	// participating shard applied them (the bounded-log maintenance).
+	LogTrimmed atomic.Int64
+
 	// Live shard-state gauges.
 	ShardsDown atomic.Int64
 	ShardsDead atomic.Int64
@@ -83,6 +100,13 @@ func (m *Metrics) Collector() f2db.Collector {
 		counter("coord_fanouts_total", "Drill-down statements scattered.", m.Fanouts.Load())
 		counter("coord_fanout_subqueries_total", "Sub-queries issued by scatter-gather.", m.FanoutSubqueries.Load())
 		counter("coord_failovers_total", "Queries answered by a non-owner shard.", m.Failovers.Load())
+		counter("coord_cache_hits_total", "Statements served from the result cache (no shard fan-out).", m.CacheHits.Load())
+		counter("coord_cache_misses_total", "Result-cache misses that fanned out to the shards.", m.CacheMisses.Load())
+		counter("coord_cache_coalesced_total", "Statements coalesced onto an in-flight identical fan-out.", m.CacheCoalesced.Load())
+		counter("coord_cache_evictions_total", "Result-cache LRU evictions.", m.CacheEvictions.Load())
+		counter("coord_cache_invalidations_total", "Cached results discarded because a write bumped the epoch.", m.CacheInvalidations.Load())
+		counter("coord_route_memo_hits_total", "Statements routed from the memo without re-parsing.", m.RouteMemoHits.Load())
+		counter("coord_log_trimmed_total", "Statement-log entries trimmed after cluster-wide apply.", m.LogTrimmed.Load())
 		gauge("coord_shards_down", "Shards currently down (reconnecting).", m.ShardsDown.Load())
 		gauge("coord_shards_dead", "Shards abandoned after unalignable restarts.", m.ShardsDead.Load())
 

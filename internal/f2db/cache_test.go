@@ -112,13 +112,13 @@ func TestCacheLRUEvictionOrder(t *testing.T) {
 }
 
 func TestCacheNormalizeSQL(t *testing.T) {
-	a := normalizeSQL("SELECT  time,\tSUM(m)\n FROM facts")
-	b := normalizeSQL("SELECT time, SUM(m) FROM facts")
+	a := NormalizeSQL("SELECT  time,\tSUM(m)\n FROM facts")
+	b := NormalizeSQL("SELECT time, SUM(m) FROM facts")
 	if a != b {
 		t.Fatalf("whitespace variants key differently: %q vs %q", a, b)
 	}
 	// Case is significant (member values are case-sensitive).
-	if normalizeSQL("WHERE city = 'C1'") == normalizeSQL("WHERE city = 'c1'") {
+	if NormalizeSQL("WHERE city = 'C1'") == NormalizeSQL("WHERE city = 'c1'") {
 		t.Fatal("normalization must not fold case")
 	}
 }

@@ -689,14 +689,24 @@ func TestDatabaseSnapshotRoundTrip(t *testing.T) {
 			t.Fatalf("forecast changed after snapshot round trip: %v vs %v", got, want)
 		}
 	}
+	// The maintenance counters survive the round trip: the saved engine
+	// had applied one full batch plus the 3 pending rows, and the counter
+	// keeps counting from there (cluster coordinators realign restarted
+	// shards against this counter, so a reset would break replay).
+	if n := db2.Stats().Inserts; n != len(g.BaseIDs)+3 {
+		t.Fatalf("restored inserts = %d, want %d", n, len(g.BaseIDs)+3)
+	}
+	if db2.Stats().Batches != 1 {
+		t.Fatalf("restored batches = %d, want 1", db2.Stats().Batches)
+	}
 	// The restored engine keeps working: complete the pending batch.
 	for _, id := range db2.Graph().BaseIDs()[3:] {
 		if err := db2.InsertBase(id, 7); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if db2.Stats().Batches != 1 {
-		t.Fatalf("batches = %d, want 1", db2.Stats().Batches)
+	if db2.Stats().Batches != 2 {
+		t.Fatalf("batches = %d, want 2", db2.Stats().Batches)
 	}
 }
 

@@ -14,7 +14,7 @@ import (
 // without any invalidation protocol. The cache is a small mutex-guarded LRU
 // keyed by whitespace-normalized query text.
 
-// normalizeSQL canonicalizes a query text for plan-cache keying: runs of
+// NormalizeSQL canonicalizes a statement text for cache keying: runs of
 // whitespace collapse to single spaces so reformatting a query does not
 // defeat the cache. Case is preserved — member values are case-sensitive
 // and folding keywords only would cost more than the rare duplicate entry.
@@ -24,7 +24,13 @@ import (
 // as-is without allocating. The scan only inspects ASCII whitespace; a text
 // using exotic Unicode spaces merely keys separately from its collapsed
 // form, which costs a duplicate cache entry, not correctness.
-func normalizeSQL(sql string) string {
+//
+// It is exported because it is the single keying function for every
+// statement cache in the system: the engine's plan cache here and the
+// cluster coordinator's result/route caches (internal/coord) key by the
+// same normalized text, so the two tiers can never disagree on whether two
+// statements are "the same".
+func NormalizeSQL(sql string) string {
 	for i := 0; i < len(sql); i++ {
 		switch sql[i] {
 		case '\t', '\n', '\v', '\f', '\r':

@@ -38,6 +38,17 @@ type dbImage struct {
 	// PlanTexts, the field is absent in older snapshots and ignored when
 	// memoization is disabled.
 	FcKeys []fcWarmKey
+	// Inserts and Batches are the maintenance counters at save time: rows
+	// accepted (including the half-filled batch above) and time advances
+	// completed. They restore into the reopened engine so its applied-row
+	// counter keeps counting from where the saved engine stood — which is
+	// what lets a cluster coordinator realign a shard restarted from a
+	// mid-history snapshot against its statement log (wire.Info.Inserts
+	// reports this counter; the coordinator matches it to cumulative
+	// statement boundaries). gob tolerates the fields being absent, so
+	// older snapshots load with zeroed counters, the previous behavior.
+	Inserts uint64
+	Batches uint64
 }
 
 // fcWarmKey is one persisted memo-table key. The node is stored by its
@@ -107,6 +118,8 @@ func saveDatabaseLocked(w io.Writer, db *DB, _ guard) error {
 		Dims:         db.graph.Dims,
 		StepDuration: db.stepDuration,
 		Pending:      make(map[string]float64, len(pending)),
+		Inserts:      uint64(db.met.inserts.Load()),
+		Batches:      uint64(db.met.batches.Load()),
 	}
 	for _, id := range db.graph.BaseIDs {
 		n := db.graph.Node(id)
@@ -182,6 +195,17 @@ func LoadDatabase(r io.Reader, opts Options) (*DB, error) {
 		if err := db.InsertBatch(pending); err != nil {
 			return nil, err
 		}
+	}
+	// Restore the maintenance counters to their save-time values. The
+	// pending replay above already counted its rows, so an unconditional
+	// Store (not Add) lands exactly on the saved state; images from before
+	// counter persistence carry zeros and keep the old reset-on-load
+	// behavior.
+	if img.Inserts > 0 {
+		db.met.inserts.Store(int64(img.Inserts))
+	}
+	if img.Batches > 0 {
+		db.met.batches.Store(int64(img.Batches))
 	}
 	// Warm the plan cache from the persisted query texts, least recently
 	// used first so LRU order on the new engine matches the saved one. A

@@ -275,7 +275,7 @@ type queryPlan struct {
 func (db *DB) planQuery(sql string) (*queryPlan, error) {
 	var key string
 	if db.plans != nil {
-		key = normalizeSQL(sql)
+		key = NormalizeSQL(sql)
 		if plan, ok := db.plans.get(key); ok {
 			db.met.planHits.Add(1)
 			return plan, nil

@@ -187,6 +187,19 @@ type Options struct {
 	// over its own pooled connection.
 	InsertWriters int
 
+	// HotQueries, when > 0, draws queries from a fixed recurring "hot set"
+	// of this many statement targets: each query picks a hot-set node with
+	// probability HotFraction instead of a fresh uniform draw — the
+	// recurring-template distribution real dashboards exhibit and the
+	// coordinator's result cache exploits. The set is drawn from the
+	// generator stream at Run start, so equal seeds and options produce
+	// equal hot sets and equal statement streams, local or remote. 0 keeps
+	// the all-random mix.
+	HotQueries int
+	// HotFraction is the probability a query targets the hot set (used
+	// only when HotQueries > 0; default 0.9).
+	HotFraction float64
+
 	// RemoteAddr, when non-empty, drives a live f2dbd at this address over
 	// internal/fclient instead of the in-process engine: queries go
 	// through the wire protocol (always SQL — UseSQL is implied), inserts
@@ -212,6 +225,42 @@ type Options struct {
 	OnQueryResult func(i int, res *f2db.Result)
 }
 
+// hotSet is the recurring-query mix of Options.HotQueries: a fixed set of
+// node targets most queries are drawn from.
+type hotSet struct {
+	nodes []int
+	frac  float64
+}
+
+// buildHotSet renders the hot set from the generator stream (HotQueries
+// RandomNode draws), so equal seeds and options give equal sets.
+func buildHotSet(gen *Generator, opts Options) *hotSet {
+	if opts.HotQueries <= 0 {
+		return nil
+	}
+	frac := opts.HotFraction
+	if frac <= 0 {
+		frac = 0.9
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	h := &hotSet{nodes: make([]int, opts.HotQueries), frac: frac}
+	for i := range h.nodes {
+		h.nodes[i] = gen.RandomNode()
+	}
+	return h
+}
+
+// next draws one query target: a hot-set node with probability frac, a
+// fresh uniform node otherwise. A nil hotSet is the all-random mix.
+func (h *hotSet) next(gen *Generator) int {
+	if h != nil && gen.rng.Float64() < h.frac {
+		return h.nodes[gen.rng.Intn(len(h.nodes))]
+	}
+	return gen.RandomNode()
+}
+
 // Run executes the interleaved workload against the engine: for every time
 // point, each base series receives one insert, and QueriesPerInsert random
 // forecast queries are issued per insert.
@@ -225,8 +274,9 @@ func Run(db *f2db.DB, gen *Generator, opts Options) (RunResult, error) {
 	if opts.Horizon <= 0 {
 		opts.Horizon = 1
 	}
+	hot := buildHotSet(gen, opts)
 	if opts.RemoteAddr != "" {
-		return runRemote(gen, opts)
+		return runRemote(gen, hot, opts)
 	}
 	var res RunResult
 	statsBefore := db.Stats()
@@ -262,7 +312,7 @@ func Run(db *f2db.DB, gen *Generator, opts Options) (RunResult, error) {
 				}
 				res.Inserts++
 				for q := 0; q < opts.QueriesPerInsert; q++ {
-					if err := runQuery(gen.RandomNode()); err != nil {
+					if err := runQuery(hot.next(gen)); err != nil {
 						return res, err
 					}
 				}
@@ -296,7 +346,7 @@ func Run(db *f2db.DB, gen *Generator, opts Options) (RunResult, error) {
 		}
 		res.Inserts += len(batch)
 		for q := 0; q < opts.QueriesPerInsert*len(baseIDs); q++ {
-			if err := runQuery(gen.RandomNode()); err != nil {
+			if err := runQuery(hot.next(gen)); err != nil {
 				return res, err
 			}
 		}
@@ -319,7 +369,7 @@ func Run(db *f2db.DB, gen *Generator, opts Options) (RunResult, error) {
 // connections (Options.RemoteReaders). Writer and reader traffic use
 // separate clients so insert statements never queue behind pipelined
 // query bursts.
-func runRemote(gen *Generator, opts Options) (RunResult, error) {
+func runRemote(gen *Generator, hot *hotSet, opts Options) (RunResult, error) {
 	writers := opts.InsertWriters
 	if writers < 1 {
 		writers = 1
@@ -371,7 +421,7 @@ func runRemote(gen *Generator, opts Options) (RunResult, error) {
 		qbase := tp * total // global index of this point's first query
 		sqls := make([]string, total)
 		for q := range sqls {
-			sqls[q] = gen.QuerySQL(gen.RandomNode(), opts.Horizon)
+			sqls[q] = gen.QuerySQL(hot.next(gen), opts.Horizon)
 		}
 		rerrs := make([]error, readers)
 		for r := 0; r < readers; r++ {

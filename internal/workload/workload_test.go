@@ -94,6 +94,44 @@ func TestRunViaSQL(t *testing.T) {
 	}
 }
 
+// TestRunHotMix: with HotQueries set and HotFraction 1, every query comes
+// from the fixed hot set, so the engine's plan cache sees at most
+// HotQueries distinct statements no matter how many queries run — the
+// read-heavy recurring mix the coordinator's result cache targets. The
+// draw stream stays deterministic: two same-seed runs issue the same
+// statements in the same order.
+func TestRunHotMix(t *testing.T) {
+	db, gen, g := testDB(t)
+	opts := Options{
+		TimePoints:       2,
+		QueriesPerInsert: 4,
+		UseSQL:           true,
+		HotQueries:       3,
+		HotFraction:      1,
+	}
+	res, err := Run(db, gen, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 2*4*db.Graph().NumBase() {
+		t.Fatalf("queries = %d, want %d", res.Queries, 2*4*db.Graph().NumBase())
+	}
+	if m := db.Metrics(); m.PlanCacheMisses > int64(opts.HotQueries) {
+		t.Fatalf("hot mix produced %d distinct plans, want <= %d", m.PlanCacheMisses, opts.HotQueries)
+	}
+
+	// Same seed, same options → identical draw stream (the property the
+	// twin comparisons rely on), including a mixed hot/cold fraction.
+	mixed := Options{HotQueries: 3, HotFraction: 0.7}
+	genA, genB := New(g, 99), New(g, 99)
+	hotA, hotB := buildHotSet(genA, mixed), buildHotSet(genB, mixed)
+	for i := 0; i < 200; i++ {
+		if hotA.next(genA) != hotB.next(genB) {
+			t.Fatalf("draw %d diverged; hot mix not deterministic per seed", i)
+		}
+	}
+}
+
 func TestGeneratorDeterminism(t *testing.T) {
 	_, _, g := testDB(t)
 	a := New(g, 7)
