@@ -77,7 +77,7 @@ func TestNormalizeSQLSharedKeying(t *testing.T) {
 func TestReadCacheResultLRU(t *testing.T) {
 	var epoch atomic.Uint64
 	m := newMetrics(nil)
-	rc := newReadCache(2, &epoch, m)
+	rc := newReadCache(2, &epochs{global: &epoch}, m)
 	fetch := func(r *f2db.Result) func() (*f2db.Result, error) {
 		return func() (*f2db.Result, error) { return r, nil }
 	}
@@ -87,10 +87,10 @@ func TestReadCacheResultLRU(t *testing.T) {
 	}
 	ra := &f2db.Result{Plan: "a"}
 
-	if got, _ := rc.result("a", fetch(ra)); got != ra {
+	if got, _ := rc.result("a", nil, fetch(ra)); got != ra {
 		t.Fatal("miss did not return the fetched result")
 	}
-	if got, _ := rc.result("a", forbidden); got != ra {
+	if got, _ := rc.result("a", nil, forbidden); got != ra {
 		t.Fatal("hit did not return the cached result")
 	}
 	if m.CacheMisses.Load() != 1 || m.CacheHits.Load() != 1 {
@@ -101,34 +101,34 @@ func TestReadCacheResultLRU(t *testing.T) {
 	// key refetches.
 	epoch.Add(1)
 	ra2 := &f2db.Result{Plan: "a2"}
-	if got, _ := rc.result("a", fetch(ra2)); got != ra2 {
+	if got, _ := rc.result("a", nil, fetch(ra2)); got != ra2 {
 		t.Fatal("stale entry served after epoch bump")
 	}
 	if m.CacheInvalidations.Load() != 1 {
 		t.Fatalf("invalidations = %d, want 1", m.CacheInvalidations.Load())
 	}
-	if got, _ := rc.result("a", forbidden); got != ra2 {
+	if got, _ := rc.result("a", nil, forbidden); got != ra2 {
 		t.Fatal("refilled entry not served at the new epoch")
 	}
 
 	// Errors pass through uncached.
 	boom := errors.New("boom")
-	if _, err := rc.result("e", func() (*f2db.Result, error) { return nil, boom }); err != boom {
+	if _, err := rc.result("e", nil, func() (*f2db.Result, error) { return nil, boom }); err != boom {
 		t.Fatalf("fetch error not returned: %v", err)
 	}
-	if got, _ := rc.result("e", fetch(ra)); got != ra {
+	if got, _ := rc.result("e", nil, fetch(ra)); got != ra {
 		t.Fatal("error was cached; refetch did not run")
 	}
 
 	// Capacity 2 with {a, e} resident: filling a third key evicts the LRU
 	// tail (a — e was used more recently).
-	if _, err := rc.result("c", fetch(&f2db.Result{Plan: "c"})); err != nil {
+	if _, err := rc.result("c", nil, fetch(&f2db.Result{Plan: "c"})); err != nil {
 		t.Fatal(err)
 	}
 	if m.CacheEvictions.Load() != 1 {
 		t.Fatalf("evictions = %d, want 1", m.CacheEvictions.Load())
 	}
-	if got, _ := rc.result("a", fetch(ra)); got != ra {
+	if got, _ := rc.result("a", nil, fetch(ra)); got != ra {
 		t.Fatal("evicted key did not refetch")
 	}
 	if rc.len() != 2 {
@@ -143,15 +143,15 @@ func TestReadCacheRouteMemo(t *testing.T) {
 	p := f2db.NewPlanner(g, 0)
 	var epoch atomic.Uint64
 	m := newMetrics(nil)
-	rc := newReadCache(4, &epoch, m)
+	rc := newReadCache(4, &epochs{global: &epoch}, m)
 
 	const sql = "SELECT time, SUM(sales) FROM facts GROUP BY time, region"
 	key := f2db.NormalizeSQL(sql)
-	r1, err := rc.routeFor(key, sql, p)
+	r1, _, err := rc.routeFor(key, sql, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := rc.routeFor(key, sql, p)
+	r2, _, err := rc.routeFor(key, sql, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestReadCacheRouteMemo(t *testing.T) {
 
 	const bad = "SELECT time, sales FROM facts WHERE planet = 'X'"
 	for i := 0; i < 2; i++ {
-		if _, err := rc.routeFor(f2db.NormalizeSQL(bad), bad, p); err == nil {
+		if _, _, err := rc.routeFor(f2db.NormalizeSQL(bad), bad, p); err == nil {
 			t.Fatal("invalid statement routed")
 		}
 	}
@@ -178,14 +178,14 @@ func TestReadCacheRouteMemo(t *testing.T) {
 func TestReadCacheCoalesce(t *testing.T) {
 	var epoch atomic.Uint64
 	m := newMetrics(nil)
-	rc := newReadCache(4, &epoch, m)
+	rc := newReadCache(4, &epochs{global: &epoch}, m)
 	res := &f2db.Result{Plan: "x"}
 	release := make(chan struct{})
 	var fetches atomic.Int64
 
 	leaderGot := make(chan *f2db.Result, 1)
 	go func() {
-		r, _ := rc.result("k", func() (*f2db.Result, error) {
+		r, _ := rc.result("k", nil, func() (*f2db.Result, error) {
 			fetches.Add(1)
 			<-release
 			return res, nil
@@ -208,7 +208,7 @@ func TestReadCacheCoalesce(t *testing.T) {
 			defer wg.Done()
 			// A nil-safe fetch that must never run: the waiters join the
 			// leader's flight instead.
-			got[i], _ = rc.result("k", func() (*f2db.Result, error) {
+			got[i], _ = rc.result("k", nil, func() (*f2db.Result, error) {
 				t.Error("waiter fanned out instead of coalescing")
 				return nil, nil
 			})
@@ -237,13 +237,13 @@ func TestReadCacheCoalesce(t *testing.T) {
 func TestReadCacheStaleFlightRetry(t *testing.T) {
 	var epoch atomic.Uint64
 	m := newMetrics(nil)
-	rc := newReadCache(4, &epoch, m)
+	rc := newReadCache(4, &epochs{global: &epoch}, m)
 	old := &f2db.Result{Plan: "old"}
 	fresh := &f2db.Result{Plan: "new"}
 	release := make(chan struct{})
 
 	go func() {
-		_, _ = rc.result("k", func() (*f2db.Result, error) {
+		_, _ = rc.result("k", nil, func() (*f2db.Result, error) {
 			<-release
 			return old, nil
 		})
@@ -258,7 +258,7 @@ func TestReadCacheStaleFlightRetry(t *testing.T) {
 
 	done := make(chan *f2db.Result, 1)
 	go func() {
-		r, _ := rc.result("k", func() (*f2db.Result, error) { return fresh, nil })
+		r, _ := rc.result("k", nil, func() (*f2db.Result, error) { return fresh, nil })
 		done <- r
 	}()
 	time.Sleep(20 * time.Millisecond) // let the new-epoch caller park on the stale flight
@@ -271,7 +271,7 @@ func TestReadCacheStaleFlightRetry(t *testing.T) {
 	}
 	// The leader must not have filled (epoch moved); the retry did, at the
 	// new epoch.
-	got, _ := rc.result("k", func() (*f2db.Result, error) {
+	got, _ := rc.result("k", nil, func() (*f2db.Result, error) {
 		t.Fatal("refetch ran; the retry's fill is missing")
 		return nil, nil
 	})

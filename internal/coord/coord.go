@@ -161,14 +161,35 @@ type Coordinator struct {
 	opts    Options
 	met     *Metrics
 
-	// epoch is the write epoch: incremented whenever an Exec appends to
-	// the statement log. The read cache serves an entry only while the
-	// epoch matches its fill-time value (cache.go); cache may be nil
-	// (caching disabled).
-	epoch atomic.Uint64
-	cache *readCache
+	// epoch is the global write epoch: incremented when an Exec touches
+	// more than one write partition and whenever enough rows accumulated
+	// that a maintenance batch may have advanced time on the shards (the
+	// event that actually changes query results). partEpochs holds one
+	// counter per write partition (ShardFor over base nodes, one partition
+	// per shard); a single-partition Exec bumps only its partition, so
+	// cached answers for other partitions survive the insert. The read
+	// cache serves an entry only while every counter its statement touches
+	// matches the fill-time stamp (cache.go); cache may be nil (caching
+	// disabled).
+	epoch      atomic.Uint64
+	partEpochs []atomic.Uint64
+	cache      *readCache
 
-	mu     sync.Mutex
+	// tele, when non-nil, receives each query's normalized template text —
+	// the coordinator-tier attach point for the sibyl workload forecaster
+	// (same contract as f2db.DB.SetTelemetry).
+	tele atomic.Pointer[teleSink]
+
+	// numBases is the shard graph's base-series count: every numBases
+	// accepted rows, a maintenance batch may have completed on the shards.
+	numBases int
+
+	mu sync.Mutex
+	// pendingRows counts accepted rows modulo numBases (guarded by mu). It
+	// conservatively over-approximates batch completion — apply-time
+	// rejections make it run ahead of the engines, which costs extra
+	// invalidation, never staleness.
+	pendingRows int
 	cond   *sync.Cond
 	log    []*logEntry
 	// trimBase is the absolute index of log[0]: trimmed entries advance
@@ -207,8 +228,10 @@ func New(planner *f2db.Planner, addrs []string, opts Options) (*Coordinator, err
 		met:     newMetrics(addrs),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	c.numBases = planner.NumBaseSeries()
+	c.partEpochs = make([]atomic.Uint64, len(addrs))
 	if opts.CacheSize > 0 {
-		c.cache = newReadCache(opts.CacheSize, &c.epoch, c.met)
+		c.cache = newReadCache(opts.CacheSize, &epochs{global: &c.epoch, parts: c.partEpochs}, c.met)
 	}
 	for i, addr := range addrs {
 		s := &shard{idx: i, addr: addr}
@@ -221,6 +244,14 @@ func New(planner *f2db.Planner, addrs []string, opts Options) (*Coordinator, err
 			s.down = true
 		} else if info, err := cl.Info(); err == nil {
 			s.nonce = info.Nonce
+			// Seed the batch-completion tracker with the engine's actual
+			// mid-batch backlog (accepted rows beyond the completed
+			// batches), so the conservative advance detection in Exec is
+			// aligned even when the shards start mid-batch. Replicas are
+			// identical; the first reachable shard speaks for all.
+			if c.numBases > 0 && c.pendingRows == 0 {
+				c.pendingRows = int(info.Inserts - info.Batches*uint64(c.numBases))
+			}
 		} else {
 			s.down = true
 		}
@@ -261,6 +292,31 @@ func (c *Coordinator) Close() error {
 // Metrics returns the coordinator's live counters.
 func (c *Coordinator) Metrics() *Metrics { return c.met }
 
+// teleSink wraps the telemetry interface for atomic storage.
+type teleSink struct{ t f2db.QueryTelemetry }
+
+// SetTelemetry attaches (or, with nil, detaches) the workload telemetry
+// sink; Query reports each statement's normalized template to it. Safe on
+// a live coordinator.
+func (c *Coordinator) SetTelemetry(t f2db.QueryTelemetry) {
+	if t == nil {
+		c.tele.Store(nil)
+		return
+	}
+	c.tele.Store(&teleSink{t: t})
+}
+
+// SetCacheCapacity resizes the read cache's result and route LRUs,
+// evicting least-recently-used entries when shrinking. Returns the result
+// entries evicted; no-op (returning 0) when caching is disabled.
+func (c *Coordinator) SetCacheCapacity(entries int) int {
+	if c.cache == nil {
+		return 0
+	}
+	c.met.CacheResizes.Add(1)
+	return c.cache.setCapacity(entries)
+}
+
 // --- write path ----------------------------------------------------------
 
 // Exec appends the INSERT to the statement log and waits until at least
@@ -269,11 +325,25 @@ func (c *Coordinator) Metrics() *Metrics { return c.met }
 // current shard is authoritative (replicas are deterministic) and is
 // returned as-is.
 func (c *Coordinator) Exec(sql string) error {
-	rows, err := c.planner.RouteExec(sql)
+	rows, bases, err := c.planner.RouteExecNodes(sql)
 	if err != nil {
-		// Same parser as the shard engines: the rejection text matches what
-		// any shard would answer.
+		// Same resolution code as the shard engines: the rejection text
+		// matches what any shard would answer, and a statement the engines
+		// would reject never reaches the log (so the logged row counts the
+		// realignment protocol fences against stay exact).
 		return err
+	}
+	// Attribute the statement to its write partition: a single-partition
+	// INSERT only needs its partition epoch bumped.
+	part, multi := -1, false
+	for _, id := range bases {
+		p := ShardFor(id, len(c.shards))
+		if part == -1 {
+			part = p
+		} else if p != part {
+			multi = true
+			break
+		}
 	}
 	c.met.Execs.Add(1)
 	c.mu.Lock()
@@ -288,11 +358,28 @@ func (c *Coordinator) Exec(sql string) error {
 	e := &logEntry{sql: sql, rows: rows, cumRows: prev + uint64(rows)}
 	idx := c.logLen()
 	c.log = append(c.log, e)
-	// Bump the write epoch under the same lock hold as the append: any
-	// query that samples the new epoch fans out (queryNode only accepts a
+	// Bump the write epochs under the same lock hold as the append: any
+	// query that samples the new stamp fans out (queryNode only accepts a
 	// shard caught up with the grown log), so no cached pre-write answer
 	// can be served to a caller that issued its query after Exec returned.
-	c.epoch.Add(1)
+	// Pending inserts change no query results until a maintenance batch
+	// advances time, so a single-partition statement bumps only its
+	// partition counter; once enough rows accumulated that a batch may
+	// have completed on the shards — and for multi-partition statements —
+	// the global counter (part of every stamp) is bumped instead.
+	c.pendingRows += rows
+	advanced := false
+	for c.numBases > 0 && c.pendingRows >= c.numBases {
+		c.pendingRows -= c.numBases
+		advanced = true
+	}
+	if advanced || multi || part < 0 || len(c.partEpochs) == 0 {
+		c.epoch.Add(1)
+		c.met.EpochGlobalBumps.Add(1)
+	} else {
+		c.partEpochs[part].Add(1)
+		c.met.EpochPartBumps.Add(1)
+	}
 	c.cond.Broadcast()
 	for {
 		if c.closed {
@@ -544,15 +631,21 @@ func (c *Coordinator) Query(sql string) (*f2db.Result, error) {
 			return nil, err
 		}
 		c.met.Queries.Add(1)
+		if t := c.tele.Load(); t != nil {
+			t.t.ObserveTemplate(f2db.NormalizeSQL(sql))
+		}
 		return c.runRoute(route, sql)
 	}
 	key := f2db.NormalizeSQL(sql)
-	route, err := c.cache.routeFor(key, sql, c.planner)
+	route, parts, err := c.cache.routeFor(key, sql, c.planner)
 	if err != nil {
 		return nil, err
 	}
 	c.met.Queries.Add(1)
-	return c.cache.result(key, func() (*f2db.Result, error) {
+	if t := c.tele.Load(); t != nil {
+		t.t.ObserveTemplate(key)
+	}
+	return c.cache.result(key, parts, func() (*f2db.Result, error) {
 		return c.runRoute(route, sql)
 	})
 }
@@ -728,10 +821,11 @@ func (c *Coordinator) StatsText() string {
 	b = fmt.Appendf(b, "coordinator shards=%d servable=%d log=%d retained=%d trimmed=%d\n",
 		len(c.shards), servable, c.logLen(), len(c.log), c.trimBase)
 	if c.cache != nil {
-		b = fmt.Appendf(b, "cache: hits=%d misses=%d coalesced=%d evictions=%d invalidations=%d route-hits=%d size=%d epoch=%d\n",
+		b = fmt.Appendf(b, "cache: hits=%d misses=%d coalesced=%d evictions=%d invalidations=%d route-hits=%d size=%d epoch=%d part-bumps=%d global-bumps=%d resizes=%d\n",
 			c.met.CacheHits.Load(), c.met.CacheMisses.Load(), c.met.CacheCoalesced.Load(),
 			c.met.CacheEvictions.Load(), c.met.CacheInvalidations.Load(),
-			c.met.RouteMemoHits.Load(), c.cache.len(), c.epoch.Load())
+			c.met.RouteMemoHits.Load(), c.cache.len(), c.epoch.Load(),
+			c.met.EpochPartBumps.Load(), c.met.EpochGlobalBumps.Load(), c.met.CacheResizes.Load())
 	}
 	for _, s := range c.shards {
 		state := "up"

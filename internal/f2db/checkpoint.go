@@ -1,0 +1,122 @@
+package f2db
+
+import (
+	"sync"
+	"time"
+)
+
+// Background checkpointing (ROADMAP durability leftover): a long-running
+// daemon must bound WAL replay length without waiting for an operator
+// SIGTERM. The scheduler watches the engine's applied-batch counter and
+// calls Durable.Checkpoint when either a time budget or a batch budget
+// since the previous checkpoint is exhausted. The decision step is the
+// exported Tick(now) so tests drive it with a fake clock; Start runs the
+// same Tick on a coarse poll ticker.
+
+// CheckpointPolicy says when a background checkpoint is due. Zero fields
+// disable their trigger; the zero policy never checkpoints.
+type CheckpointPolicy struct {
+	// Every checkpoints when this much time has passed since the last
+	// checkpoint AND new batches were applied in between (an idle engine
+	// is never re-snapshotted).
+	Every time.Duration
+	// EveryBatches checkpoints when this many batches were applied since
+	// the last checkpoint.
+	EveryBatches int64
+}
+
+// CheckpointScheduler runs CheckpointPolicy against a durable engine.
+type CheckpointScheduler struct {
+	d      *Durable
+	policy CheckpointPolicy
+	logf   func(format string, args ...any)
+
+	mu          sync.Mutex
+	lastTime    time.Time
+	lastBatches int64
+	stop, done  chan struct{}
+}
+
+// NewCheckpointScheduler creates a stopped scheduler. The current applied-
+// batch count becomes the baseline, so only batches applied from now on
+// count toward EveryBatches. logf may be nil.
+func NewCheckpointScheduler(d *Durable, policy CheckpointPolicy, logf func(format string, args ...any)) *CheckpointScheduler {
+	return &CheckpointScheduler{
+		d:           d,
+		policy:      policy,
+		logf:        logf,
+		lastBatches: d.db.met.batches.Load(),
+	}
+}
+
+// Tick evaluates the policy at the given instant and checkpoints if due.
+// It reports whether a checkpoint ran and that checkpoint's error. The
+// baselines advance even on error so a persistently failing checkpoint
+// retries at the policy cadence instead of every tick.
+func (s *CheckpointScheduler) Tick(now time.Time) (ran bool, err error) {
+	s.mu.Lock()
+	if s.lastTime.IsZero() {
+		s.lastTime = now
+	}
+	batches := s.d.db.met.batches.Load()
+	delta := batches - s.lastBatches
+	due := (s.policy.EveryBatches > 0 && delta >= s.policy.EveryBatches) ||
+		(s.policy.Every > 0 && now.Sub(s.lastTime) >= s.policy.Every && delta > 0)
+	if !due {
+		s.mu.Unlock()
+		return false, nil
+	}
+	s.lastTime = now
+	s.lastBatches = batches
+	s.mu.Unlock()
+
+	err = s.d.Checkpoint()
+	if err != nil && s.logf != nil {
+		s.logf("checkpoint scheduler: %v", err)
+	}
+	return true, err
+}
+
+// Start launches the poll loop (no-op if running or the policy is zero).
+func (s *CheckpointScheduler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil || (s.policy.Every <= 0 && s.policy.EveryBatches <= 0) {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.run(s.stop, s.done)
+}
+
+func (s *CheckpointScheduler) run(stop, done chan struct{}) {
+	defer close(done)
+	poll := time.Second
+	if s.policy.Every > 0 && s.policy.Every < poll {
+		poll = s.policy.Every
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-tick.C:
+			_, _ = s.Tick(now)
+		}
+	}
+}
+
+// Stop halts the poll loop and waits for an in-flight checkpoint to
+// finish. No-op when not running.
+func (s *CheckpointScheduler) Stop() {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

@@ -172,6 +172,12 @@ type DB struct {
 
 	met engineMetrics
 
+	// tele, when non-nil, is the workload telemetry sink (selftune.go):
+	// Query reports each statement's normalized template to it. An atomic
+	// pointer so the hook costs one load on the hot path when disabled and
+	// can be attached/detached on a live engine.
+	tele atomic.Pointer[teleBox]
+
 	// commitHook, when non-nil, is the group-commit gate: advanceIfComplete
 	// calls it under the write lock with the complete batch and the
 	// generation it creates (the observation index it will occupy), BEFORE
@@ -600,14 +606,21 @@ func (db *DB) Insert(members []string, value float64) error {
 // coordinate index is immutable after construction; resolution needs no
 // lock.
 func (db *DB) resolveBase(members []string) (int, error) {
-	coord := make(cube.Coord, len(db.graph.Dims))
-	for d := range db.graph.Dims {
+	return resolveBaseIn(db.graph, members)
+}
+
+// resolveBaseIn is resolveBase against a bare graph, shared with the
+// engine-free routing Planner so a coordinator resolves (and rejects)
+// INSERT rows byte-identically to the engine.
+func resolveBaseIn(g *cube.Graph, members []string) (int, error) {
+	coord := make(cube.Coord, len(g.Dims))
+	for d := range g.Dims {
 		if d >= len(members) {
-			return 0, fmt.Errorf("f2db: insert needs %d member values, got %d", len(db.graph.Dims), len(members))
+			return 0, fmt.Errorf("f2db: insert needs %d member values, got %d", len(g.Dims), len(members))
 		}
 		coord[d] = cube.Cell{Level: 0, Value: members[d]}
 	}
-	n := db.graph.Lookup(coord)
+	n := g.Lookup(coord)
 	if n == nil || !n.IsBase {
 		return 0, fmt.Errorf("f2db: unknown base series %v", members)
 	}

@@ -58,9 +58,11 @@ type fcShard struct {
 // fcCache is the epoch-guarded, sharded forecast memo table. Epoch bumps
 // are lock-free; entry maps are guarded per shard.
 type fcCache struct {
-	epochs   []atomic.Uint64 // one per graph node
-	shards   []fcShard
-	shardCap int  // per-shard capacity slice
+	epochs []atomic.Uint64 // one per graph node
+	shards []fcShard
+	// shardCap is the per-shard capacity slice. Atomic because setCapacity
+	// may resize it while queries run put on other shards.
+	shardCap atomic.Int64
 	shift    uint // log2(len(shards)), for stripeIndex routing
 }
 
@@ -79,11 +81,11 @@ func newFcCache(numNodes, capacity, stripes int) *fcCache {
 		shardCap = 1
 	}
 	c := &fcCache{
-		epochs:   make([]atomic.Uint64, numNodes),
-		shards:   make([]fcShard, stripes),
-		shardCap: shardCap,
-		shift:    stripeShiftFor(stripes),
+		epochs: make([]atomic.Uint64, numNodes),
+		shards: make([]fcShard, stripes),
+		shift:  stripeShiftFor(stripes),
 	}
+	c.shardCap.Store(int64(shardCap))
 	for i := range c.shards {
 		c.shards[i].items = make(map[fcKey]fcEntry, shardCap/4)
 	}
@@ -144,9 +146,10 @@ func (c *fcCache) put(key fcKey, point, lo, hi []float64) (evicted int64) {
 		hi:    cloneFloats(hi),
 	}
 	sh := c.shardFor(key.node)
+	shardCap := int(c.shardCap.Load())
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if _, exists := sh.items[key]; !exists && len(sh.items) >= c.shardCap {
+	if _, exists := sh.items[key]; !exists && len(sh.items) >= shardCap {
 		// Capacity sweep, per shard: drop stale-epoch entries first; if
 		// every entry is live the shard is genuinely too small — reset it
 		// rather than tracking LRU order on the query hot path.
@@ -156,12 +159,62 @@ func (c *fcCache) put(key fcKey, point, lo, hi []float64) (evicted int64) {
 				evicted++
 			}
 		}
-		if len(sh.items) >= c.shardCap {
+		if len(sh.items) >= shardCap {
 			evicted += int64(len(sh.items))
-			sh.items = make(map[fcKey]fcEntry, c.shardCap/4)
+			sh.items = make(map[fcKey]fcEntry, shardCap/4)
 		}
 	}
 	sh.items[key] = e
+	return evicted
+}
+
+// setCapacity resizes the memo table to hold roughly `capacity` total
+// entries (re-sliced evenly across shards, minimum one per shard). Shards
+// over the new slice drop stale-epoch entries first, then live entries in
+// deterministic sorted-key order. Returns the eviction count.
+func (c *fcCache) setCapacity(capacity int) (evicted int64) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	stripes := len(c.shards)
+	shardCap := (capacity + stripes - 1) / stripes
+	if shardCap < 1 {
+		shardCap = 1
+	}
+	c.shardCap.Store(int64(shardCap))
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		if len(sh.items) > shardCap {
+			for k, v := range sh.items {
+				if v.epoch != c.epochs[k.node].Load() {
+					delete(sh.items, k)
+					evicted++
+				}
+			}
+		}
+		if over := len(sh.items) - shardCap; over > 0 {
+			keys := make([]fcKey, 0, len(sh.items))
+			for k := range sh.items {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(a, b int) bool {
+				x, y := keys[a], keys[b]
+				if x.node != y.node {
+					return x.node < y.node
+				}
+				if x.h != y.h {
+					return x.h < y.h
+				}
+				return x.conf < y.conf
+			})
+			for _, k := range keys[len(keys)-over:] {
+				delete(sh.items, k)
+				evicted++
+			}
+		}
+		sh.mu.Unlock()
+	}
 	return evicted
 }
 

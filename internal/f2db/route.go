@@ -119,6 +119,45 @@ func (p *Planner) RouteExec(sql string) (rows int, err error) {
 	return len(stmt.rows), nil
 }
 
+// RouteExecNodes is RouteExec plus full row resolution: it maps every row
+// to its base node ID (in statement order) using the same resolution code
+// and the same checking order as the engine's Exec, so any statement the
+// engine would reject at resolution time is rejected here with the
+// byte-identical error. Coordinators use the node IDs to attribute an
+// INSERT to write partitions before logging it.
+func (p *Planner) RouteExecNodes(sql string) (rows int, bases []int, err error) {
+	stmt, err := parseInsert(sql)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(stmt.rows) == 1 {
+		id, err := resolveBaseIn(p.g, stmt.rows[0].members)
+		if err != nil {
+			return 0, nil, err
+		}
+		return 1, []int{id}, nil
+	}
+	bases = make([]int, 0, len(stmt.rows))
+	seen := make(map[int]bool, len(stmt.rows))
+	for _, row := range stmt.rows {
+		id, err := resolveBaseIn(p.g, row.members)
+		if err != nil {
+			return 0, nil, err
+		}
+		if seen[id] {
+			return 0, nil, fmt.Errorf("f2db: duplicate row for base series %v in INSERT", row.members)
+		}
+		seen[id] = true
+		bases = append(bases, id)
+	}
+	return len(stmt.rows), bases, nil
+}
+
+// NumBaseSeries reports the graph's base-series count — the number of rows
+// that complete one maintenance batch (coordinators use it to track batch
+// advances for cache invalidation).
+func (p *Planner) NumBaseSeries() int { return len(p.g.BaseIDs) }
+
 // NumNodes reports the graph's node count (shard-map sizing).
 func (p *Planner) NumNodes() int { return p.g.NumNodes() }
 

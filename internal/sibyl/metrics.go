@@ -1,0 +1,77 @@
+package sibyl
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics holds the engine's live counters. All fields are atomics so
+// the ingest hot path and the control loop never share a lock with
+// scrapers; read them with Load.
+type Metrics struct {
+	// Observed counts every ObserveTemplate call (the aggregate-QPS
+	// stream is derived from its per-bucket deltas).
+	Observed atomic.Int64
+	// Templates is the current tracked-template gauge.
+	Templates atomic.Int64
+	// Dropped counts new templates rejected because the table was full
+	// of warmer entries; Evicted counts templates removed by decay or to
+	// admit a newcomer.
+	Dropped atomic.Int64
+	Evicted atomic.Int64
+	// Buckets counts closed buckets (Ticks); Refits counts model fits
+	// (per-template and aggregate); FitErrors counts fits that failed
+	// and fell back to the EWMA rate.
+	Buckets   atomic.Int64
+	Refits    atomic.Int64
+	FitErrors atomic.Int64
+	// Spikes counts per-template spike classifications; Troughs counts
+	// trough buckets.
+	Spikes  atomic.Int64
+	Troughs atomic.Int64
+	// Actuator outcomes.
+	Prewarms      atomic.Int64
+	PrewarmErrors atomic.Int64
+	TroughRuns    atomic.Int64
+	TroughSkips   atomic.Int64
+	Resizes       atomic.Int64
+	ResizeSkips   atomic.Int64
+}
+
+// WritePrometheus renders the sibyl_* metric families in Prometheus text
+// format. Its signature matches the exporter's Collector type so both
+// daemons mount it without this package importing internal/f2db.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("sibyl_observed_total", "Query-template arrivals observed by the telemetry hook.", m.Observed.Load())
+	gauge("sibyl_templates", "Workload templates currently tracked.", m.Templates.Load())
+	counter("sibyl_templates_dropped_total", "New templates rejected by the full table.", m.Dropped.Load())
+	counter("sibyl_templates_evicted_total", "Templates evicted by rate decay or replacement.", m.Evicted.Load())
+	counter("sibyl_buckets_total", "Telemetry buckets closed.", m.Buckets.Load())
+	counter("sibyl_refits_total", "Workload-model fits performed.", m.Refits.Load())
+	counter("sibyl_fit_errors_total", "Workload-model fits that failed.", m.FitErrors.Load())
+	counter("sibyl_spikes_total", "Per-template spike predictions.", m.Spikes.Load())
+	counter("sibyl_troughs_total", "Aggregate trough predictions.", m.Troughs.Load())
+	counter("sibyl_prewarms_total", "Spike templates pre-warmed.", m.Prewarms.Load())
+	counter("sibyl_prewarm_errors_total", "Pre-warm executions that failed.", m.PrewarmErrors.Load())
+	counter("sibyl_trough_runs_total", "Trough maintenance runs.", m.TroughRuns.Load())
+	counter("sibyl_trough_skips_total", "Trough runs suppressed by hysteresis.", m.TroughSkips.Load())
+	counter("sibyl_resizes_total", "Cache resizes applied.", m.Resizes.Load())
+	counter("sibyl_resize_skips_total", "Cache resizes suppressed by the dead band.", m.ResizeSkips.Load())
+}
+
+// StatsLine renders the one-line self-tuning summary appended to the
+// \stats output.
+func (m *Metrics) StatsLine() string {
+	return fmt.Sprintf(
+		"selftune: observed=%d templates=%d buckets=%d refits=%d spikes=%d troughs=%d prewarms=%d trough-runs=%d resizes=%d evicted=%d dropped=%d\n",
+		m.Observed.Load(), m.Templates.Load(), m.Buckets.Load(), m.Refits.Load(),
+		m.Spikes.Load(), m.Troughs.Load(), m.Prewarms.Load(), m.TroughRuns.Load(),
+		m.Resizes.Load(), m.Evicted.Load(), m.Dropped.Load())
+}
